@@ -1,0 +1,107 @@
+"""Ablation A6: the retrieval substrate on a memory-constrained device.
+
+Two practical knobs for hosting the Search Levels on an edge board:
+
+* **embedding dimensionality** — the paper uses MPNet's 768; smaller
+  projections shrink the vector store and speed up k-NN.  How far can
+  the dimension drop before Level-1 retrieval quality breaks?
+* **product quantization** — storing PQ codes instead of raw vectors
+  compresses the store by >10x; what is the recall cost on the actual
+  tool corpus?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.embedding import SentenceEmbedder
+from repro.suites.bfcl_catalog import build_bfcl_registry
+from repro.vectorstore import FlatIndex, PQIndex
+
+#: paraphrase probes: (query-style text, gold tool) pairs
+PROBES = [
+    ("fetch the current weather conditions for a town", "get_current_weather"),
+    ("convert an amount of money into euros", "convert_currency"),
+    ("translate a sentence into german", "translate_text"),
+    ("evaluate this arithmetic expression", "calculate_expression"),
+    ("what films is this actor in", "get_movie_details"),
+    ("find a thai restaurant nearby", "find_restaurants"),
+    ("condense this passage into a shorter abstract", "summarize_text"),
+    ("monthly cost of a mortgage over thirty years", "compute_loan_payment"),
+    ("latest share quote for a ticker", "get_stock_price"),
+    ("set an alert for seven in the morning", "set_reminder"),
+]
+
+
+def _top1_hits(index, embedder, names) -> int:
+    hits = 0
+    for text, gold in PROBES:
+        result = index.search_one(embedder.encode_one(text), k=1)
+        hits += int(names[result.top()[1]] == gold)
+    return hits
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+def test_embedding_dimension_sweep(benchmark):
+    registry = build_bfcl_registry()
+    names = registry.names
+
+    def sweep():
+        rows = {}
+        for dim in (32, 96, 256, 768):
+            embedder = SentenceEmbedder(dim=dim)
+            index = FlatIndex(dim=dim, metric="cosine")
+            index.add(embedder.encode(registry.descriptions()))
+            rows[dim] = _top1_hits(index, embedder, names)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nembedding-dimension sweep (top-1 paraphrase retrieval, 10 probes)")
+    for dim, hits in rows.items():
+        store_kb = 51 * dim * 8 / 1024
+        print(f"  dim={dim:>4}: {hits}/10 hits, store={store_kb:.0f} KB")
+    attach_rows(benchmark, {f"dim{dim}_hits": hits for dim, hits in rows.items()})
+
+    assert rows[768] >= 9          # the paper's dimension works
+    assert rows[256] >= rows[32]   # quality degrades as dim collapses
+    assert rows[32] <= rows[768]
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+def test_pq_compression_recall_tradeoff(benchmark):
+    registry = build_bfcl_registry()
+    names = registry.names
+    embedder = SentenceEmbedder()
+    vectors = embedder.encode(registry.descriptions())
+
+    def sweep():
+        flat = FlatIndex(dim=768, metric="l2")
+        flat.add(vectors)
+        flat_hits = _top1_hits(flat, embedder, names)
+        rows = {"flat": (flat_hits, vectors.nbytes / 1024, 1.0)}
+        for m in (8, 32, 96):
+            pq = PQIndex(dim=768, m=m, n_centroids=32)
+            pq.add(vectors)
+            pq.train()
+            hits = _top1_hits(pq, embedder, names)
+            rows[f"pq{m}"] = (hits, pq._codes.nbytes / 1024,  # noqa: SLF001
+                              pq.marginal_compression_ratio())
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nPQ compression vs retrieval quality (51-tool corpus; marginal "
+          "ratio amortises the fixed codebooks)")
+    for label, (hits, kb, ratio) in rows.items():
+        print(f"  {label:>5}: {hits}/10 hits, codes={kb:7.1f} KB, "
+              f"marginal compression x{ratio:.0f}")
+    attach_rows(benchmark, {f"{label}_hits": hits
+                            for label, (hits, _, _) in rows.items()})
+
+    flat_hits = rows["flat"][0]
+    # generous sub-spaces keep exact-search quality at >60x compression
+    assert rows["pq96"][0] >= flat_hits - 1
+    assert rows["pq96"][2] > 50.0
+    # fewer sub-spaces compress harder still
+    assert rows["pq8"][2] > rows["pq96"][2]

@@ -1,0 +1,68 @@
+"""Ablation A2: retrieval depth k and the confidence threshold.
+
+The paper evaluates k in {3, 5}.  This ablation extends the sweep to
+k in {1, 2, 3, 5, 8} and sweeps the Level-3 confidence threshold,
+exposing the trade-off the Controller navigates: tiny k starves recall
+on multi-tool tasks, huge k re-inflates the prompt (eroding the time
+win); an over-strict threshold collapses everything to Level 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows, bench_queries
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+K_VALUES = (1, 2, 3, 5, 8)
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def test_k_sweep_geoengine(benchmark):
+    runner = ExperimentRunner(load_suite("geoengine", n_queries=bench_queries(40)))
+
+    def sweep():
+        return {k: runner.run(f"lis-k{k}", "hermes2-pro-8b", "q4_K_M") for k in K_VALUES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nk sweep (LiS, hermes2-pro-8b-q4_K_M, GeoEngine)")
+    for k, run in results.items():
+        s = run.summary
+        print(f"  k={k}: success={s.success_rate:.1%} acc={s.tool_accuracy:.1%} "
+              f"tools={s.mean_tools_presented:.1f} time={s.mean_time_s:.1f}s")
+    attach_rows(benchmark, {f"k{k}_success": round(run.summary.success_rate, 4)
+                            for k, run in results.items()})
+
+    # recall starvation at k=1 on sequential chains
+    assert results[1].summary.success_rate < results[5].summary.success_rate
+    # presented-tool count grows with k; time grows along with it
+    assert (results[8].summary.mean_tools_presented
+            > results[1].summary.mean_tools_presented)
+    assert results[8].summary.mean_time_s > results[1].summary.mean_time_s
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def test_threshold_sweep_bfcl(benchmark):
+    runner = ExperimentRunner(load_suite("bfcl", n_queries=bench_queries(40)))
+
+    def sweep():
+        results = {}
+        for threshold in (0.0, 0.3, 0.7, 1.01):
+            agent = runner.make_agent("lis-k3", "llama3.1-8b", "q4_K_M",
+                                      confidence_threshold=threshold)
+            episodes = [agent.run(q) for q in runner.suite.queries]
+            level3 = sum(e.selected_level == 3 for e in episodes) / len(episodes)
+            results[threshold] = level3
+        return results
+
+    level3_share = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nconfidence-threshold sweep (share of Level-3 fallbacks)")
+    for threshold, share in level3_share.items():
+        print(f"  tau={threshold:.2f}: level3={share:.1%}")
+    attach_rows(benchmark, {f"tau{t}": round(s, 4) for t, s in level3_share.items()})
+
+    assert level3_share[0.0] == 0.0
+    assert level3_share[1.01] == 1.0  # impossible threshold -> all Level 3
+    shares = list(level3_share.values())
+    assert shares == sorted(shares)  # monotone in the threshold

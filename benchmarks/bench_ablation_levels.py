@@ -1,0 +1,52 @@
+"""Ablation A3: forcing a single Search Level vs the full Controller.
+
+The paper argues the *hierarchy* is the contribution — pure Level-1
+search "closely resembles" Gorilla and under-covers multi-tool chains,
+pure Level-2 wastes prompt budget on simple queries, and Level 3 is the
+expensive default.  Forcing each level isolates its contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows, bench_queries
+from repro.evaluation.metrics import summarize
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+MODES = {"auto": None, "level1": 1, "level2": 2, "level3": 3}
+
+
+def _run_forced(runner, force_level):
+    agent = runner.make_agent("lis-k3", "hermes2-pro-8b", "q4_K_M",
+                              force_level=force_level)
+    return summarize([agent.run(q) for q in runner.suite.queries])
+
+
+@pytest.mark.benchmark(group="ablation-levels")
+@pytest.mark.parametrize("suite_name", ["bfcl", "geoengine"])
+def test_forced_level_ablation(benchmark, suite_name):
+    runner = ExperimentRunner(load_suite(suite_name, n_queries=bench_queries(40)))
+
+    def sweep():
+        return {mode: _run_forced(runner, level) for mode, level in MODES.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nforced-level ablation ({suite_name}, hermes2-pro-8b-q4_K_M)")
+    for mode, summary in results.items():
+        print(f"  {mode:>7}: success={summary.success_rate:.1%} "
+              f"acc={summary.tool_accuracy:.1%} tools={summary.mean_tools_presented:.1f} "
+              f"time={summary.mean_time_s:.1f}s")
+    attach_rows(benchmark, {f"{mode}_success": round(s.success_rate, 4)
+                            for mode, s in results.items()})
+
+    auto = results["auto"]
+    # the arbitrated controller is never much worse than the best single level
+    best_single = max(results["level1"].success_rate, results["level2"].success_rate)
+    assert auto.success_rate >= best_single - 0.08
+    # Level 3 is the slow path on both suites
+    assert results["level3"].mean_time_s > auto.mean_time_s
+    if suite_name == "geoengine":
+        # multi-tool chains: clusters beat individual-tool search
+        assert results["level2"].success_rate >= results["level1"].success_rate

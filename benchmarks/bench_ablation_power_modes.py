@@ -1,0 +1,65 @@
+"""Ablation A5: nvpmodel power caps (MAXN / 30 W / 15 W).
+
+The paper measures on an uncapped (MAXN) AGX Orin.  Real deployments
+often run capped; this ablation re-runs the default-vs-LiS comparison
+under each nvpmodel preset and checks that the Less-is-More speed and
+power advantages survive the cap — i.e. the paper's conclusion is not an
+artifact of the MAXN operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows, bench_queries
+from repro.baselines import DefaultAgent
+from repro.core.levels import SearchLevelBuilder
+from repro.core.pipeline import LessIsMoreAgent
+from repro.evaluation.metrics import summarize
+from repro.hardware.power_modes import orin_in_mode
+from repro.llm import SimulatedLLM
+from repro.suites import load_suite
+
+MODES = ("MAXN", "30W", "15W")
+
+
+@pytest.mark.benchmark(group="ablation-power-modes")
+def test_lis_advantage_survives_power_caps(benchmark):
+    suite = load_suite("bfcl", n_queries=bench_queries(40))
+    levels = SearchLevelBuilder().build(suite)
+    llm = SimulatedLLM.from_registry("llama3.1-8b", "q4_K_M")
+
+    def sweep():
+        rows = {}
+        for mode in MODES:
+            device = orin_in_mode(mode)
+            default = DefaultAgent(llm=llm, suite=suite, device=device)
+            lis = LessIsMoreAgent(llm=llm, suite=suite, levels=levels, k=3,
+                                  device=device)
+            rows[mode] = (
+                summarize([default.run(q) for q in suite.queries]),
+                summarize([lis.run(q) for q in suite.queries]),
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\npower-mode ablation (llama3.1-8b-q4_K_M, BFCL)")
+    for mode, (default, lis) in rows.items():
+        ratio_t = lis.mean_time_s / default.mean_time_s
+        ratio_p = lis.avg_power_w / default.avg_power_w
+        print(f"  {mode:>5}: default {default.mean_time_s:5.1f}s/"
+              f"{default.avg_power_w:4.1f}W | LiS {lis.mean_time_s:5.1f}s/"
+              f"{lis.avg_power_w:4.1f}W | x{ratio_t:.2f} time x{ratio_p:.2f} power")
+        attach_rows(benchmark, {f"{mode}_time_ratio": round(ratio_t, 3),
+                                f"{mode}_power_ratio": round(ratio_p, 3)})
+
+    for mode, (default, lis) in rows.items():
+        # LiS keeps a >= 40% time cut and a power cut under every cap
+        assert lis.mean_time_s < 0.6 * default.mean_time_s, mode
+        assert lis.avg_power_w < default.avg_power_w, mode
+        # accuracy is device-independent: the cap must not change outcomes
+        assert lis.success_rate == rows["MAXN"][1].success_rate
+
+    # absolute latency rises as the cap tightens (clocks scale down)
+    assert (rows["15W"][1].mean_time_s > rows["30W"][1].mean_time_s
+            > rows["MAXN"][1].mean_time_s)

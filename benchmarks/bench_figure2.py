@@ -1,0 +1,63 @@
+"""Figure 2: the full BFCL grid — 6 models x 4 quants x 4 schemes.
+
+For every model and quantization variant the paper compares default
+execution (all 51 tools, 16K window) against Gorilla and Less-is-More at
+k=3 and k=5 (8K window) on four metrics: Success Rate, Tool Accuracy,
+Normalized Execution Time and Normalized Power.
+
+Shape requirements asserted per model (paper Section IV narratives):
+
+* LiS improves success rate and tool accuracy over default for every
+  model (Mistral is allowed to tie — the paper reports no gain there);
+* LiS cuts execution time by at least 30% (paper: 48-80%);
+* LiS cuts power by at least 10% (paper: 18-45%);
+* Gorilla lands between default and LiS in accuracy for every model
+  except Mistral, where it is the worst in success rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FIGURE2_MODELS, FIGURE_QUANTS, FIGURE_SCHEMES, attach_rows
+from repro.evaluation.reporting import figure_series, render_series
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("model", FIGURE2_MODELS)
+def test_figure2_model_panel(benchmark, bfcl_runner, model):
+    def run_panel():
+        return bfcl_runner.run_grid(FIGURE_SCHEMES, [model], FIGURE_QUANTS)
+
+    grid = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    rows = figure_series(grid, model, FIGURE_QUANTS, FIGURE_SCHEMES)
+    print("\n" + render_series(rows, title=f"Figure 2 — {model} (BFCL)"))
+
+    for quant in FIGURE_QUANTS:
+        default = rows[f"{model}-{quant} default"]
+        lis3 = rows[f"{model}-{quant} lis-k3"]
+        lis5 = rows[f"{model}-{quant} lis-k5"]
+        gorilla = rows[f"{model}-{quant} gorilla"]
+        best_lis = max(lis3.success_rate, lis5.success_rate)
+
+        if model == "mistral-8b":
+            # paper: no success/accuracy gain for Mistral, Gorilla worst
+            assert best_lis >= default.success_rate - 0.05, quant
+            assert gorilla.success_rate < default.success_rate + 0.02, quant
+        else:
+            assert best_lis > default.success_rate, quant
+            assert max(lis3.tool_accuracy, lis5.tool_accuracy) > default.tool_accuracy, quant
+
+        for lis in (lis3, lis5):
+            assert lis.normalized_time < 0.70, (quant, lis.normalized_time)
+            assert lis.normalized_power < 0.90, (quant, lis.normalized_power)
+
+    attach_rows(benchmark, {
+        label: {
+            "success": round(row.success_rate, 4),
+            "accuracy": round(row.tool_accuracy, 4),
+            "norm_time": round(row.normalized_time, 4),
+            "norm_power": round(row.normalized_power, 4),
+        }
+        for label, row in rows.items()
+    })

@@ -1,0 +1,72 @@
+"""Figure 3: the GeoEngine grid — sequential function calling.
+
+The paper evaluates the same scheme grid on GeoEngine, excluding Phi3 and
+Qwen2-1.5b whose default success collapses to ~10%.  Shape requirements:
+
+* LiS (best k) matches or beats default success for every kept model,
+  with clearly higher levels than Gorilla;
+* Gorilla fails to improve success ("it only checks tool similarity,
+  while GeoEngine requires sequential function calls");
+* time/power cuts are smaller than on BFCL (paper: 15-40% time, 6-13%
+  power) — LiS must stay within [0.55, 1.10] normalized time;
+* the two excluded models indeed collapse (<20% default success).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FIGURE3_MODELS, FIGURE_QUANTS, FIGURE_SCHEMES, attach_rows
+from repro.evaluation.reporting import figure_series, render_series
+
+
+@pytest.mark.benchmark(group="figure3")
+@pytest.mark.parametrize("model", FIGURE3_MODELS)
+def test_figure3_model_panel(benchmark, geo_runner, model):
+    def run_panel():
+        return geo_runner.run_grid(FIGURE_SCHEMES, [model], FIGURE_QUANTS)
+
+    grid = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    rows = figure_series(grid, model, FIGURE_QUANTS, FIGURE_SCHEMES)
+    print("\n" + render_series(rows, title=f"Figure 3 — {model} (GeoEngine)"))
+
+    for quant in FIGURE_QUANTS:
+        default = rows[f"{model}-{quant} default"]
+        gorilla = rows[f"{model}-{quant} gorilla"]
+        lis_best = max(rows[f"{model}-{quant} lis-k3"].success_rate,
+                       rows[f"{model}-{quant} lis-k5"].success_rate)
+
+        # LiS holds or improves success; Gorilla clearly does not
+        assert lis_best >= default.success_rate - 0.07, quant
+        assert gorilla.success_rate < default.success_rate, quant
+        assert gorilla.success_rate < lis_best, quant
+
+        for key in ("lis-k3", "lis-k5"):
+            lis = rows[f"{model}-{quant} {key}"]
+            assert 0.50 <= lis.normalized_time <= 1.10, (quant, key, lis.normalized_time)
+            assert lis.normalized_power <= 0.95, (quant, key)
+
+    attach_rows(benchmark, {
+        label: {
+            "success": round(row.success_rate, 4),
+            "accuracy": round(row.tool_accuracy, 4),
+            "norm_time": round(row.normalized_time, 4),
+            "norm_power": round(row.normalized_power, 4),
+        }
+        for label, row in rows.items()
+    })
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_excluded_models_collapse(benchmark, geo_runner):
+    """Phi3 and Qwen2-1.5b default success ~10% (the paper's exclusion)."""
+    def run_defaults():
+        return {model: geo_runner.run("default", model, "q4_K_M")
+                for model in ("phi3-8b", "qwen2-1.5b")}
+
+    runs = benchmark.pedantic(run_defaults, rounds=1, iterations=1)
+    for model, run in runs.items():
+        rate = run.summary.success_rate
+        print(f"\n{model} GeoEngine default success: {rate:.1%} (paper ~10%)")
+        assert rate < 0.20, model
+        attach_rows(benchmark, {f"{model}_default_success": round(rate, 4)})

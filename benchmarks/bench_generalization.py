@@ -1,0 +1,45 @@
+"""Generalization check: the pipeline on a third, unseen domain.
+
+The paper's conclusion claims easy adaptation "to new tools" without
+fine-tuning.  The ``edgehome`` suite (32 mixed smart-home/assistant/media
+tools, single calls plus short routines) was never part of calibration;
+this bench verifies the Less-is-More advantages transfer to it unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows, bench_queries
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+
+@pytest.mark.benchmark(group="generalization")
+def test_edgehome_transfer(benchmark):
+    runner = ExperimentRunner(load_suite("edgehome", n_queries=bench_queries()))
+
+    def run_pair():
+        return {
+            "default": runner.run("default", "qwen2-7b", "q4_K_M"),
+            "gorilla": runner.run("gorilla", "qwen2-7b", "q4_K_M"),
+            "lis-k3": runner.run("lis-k3", "qwen2-7b", "q4_K_M"),
+        }
+
+    runs = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    default = runs["default"].summary
+    print("\nedgehome generalization (qwen2-7b-q4_K_M)")
+    for scheme, run in runs.items():
+        summary = run.summary
+        print(f"  {scheme:<8} success={summary.success_rate:.1%} "
+              f"acc={summary.tool_accuracy:.1%} tools={summary.mean_tools_presented:.1f} "
+              f"time={summary.mean_time_s:.1f}s power={summary.avg_power_w:.1f}W")
+        attach_rows(benchmark, {f"{scheme}_success": round(summary.success_rate, 4)})
+
+    lis = runs["lis-k3"].summary
+    # the paper's advantages transfer: better outcomes, fewer tools, less time
+    assert lis.success_rate > default.success_rate
+    assert lis.tool_accuracy > default.tool_accuracy
+    assert lis.mean_time_s < 0.65 * default.mean_time_s
+    assert lis.avg_power_w < default.avg_power_w
+    assert lis.mean_tools_presented < 0.5 * default.mean_tools_presented

@@ -1,0 +1,43 @@
+"""Section IV level-selection observation.
+
+"Interestingly, we found that in BFCL Search Level 1 yields higher
+tool-matching scores, whereas for GeoEngine it is Search Level 2 with
+better tool selection."
+
+This bench records the controller's level histogram per suite and checks
+the cross-suite shape: Level 1 dominates BFCL; the Level-2 share on
+GeoEngine far exceeds the Level-2 share on BFCL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+
+
+def _level_shares(runner, model="hermes2-pro-8b", quant="q4_K_M", scheme="lis-k3"):
+    run = runner.run(scheme, model, quant)
+    histogram = run.summary.level_histogram
+    total = sum(histogram.values())
+    return {level: histogram.get(level, 0) / total for level in (1, 2, 3)}
+
+
+@pytest.mark.benchmark(group="level-selection")
+def test_level_selection_shapes(benchmark, bfcl_runner, geo_runner):
+    def run_both():
+        return _level_shares(bfcl_runner), _level_shares(geo_runner)
+
+    bfcl_shares, geo_shares = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nBFCL level shares:      L1={bfcl_shares[1]:.1%} "
+          f"L2={bfcl_shares[2]:.1%} L3={bfcl_shares[3]:.1%}")
+    print(f"GeoEngine level shares: L1={geo_shares[1]:.1%} "
+          f"L2={geo_shares[2]:.1%} L3={geo_shares[3]:.1%}")
+    attach_rows(benchmark, {
+        "bfcl_L1": round(bfcl_shares[1], 3), "bfcl_L2": round(bfcl_shares[2], 3),
+        "geo_L1": round(geo_shares[1], 3), "geo_L2": round(geo_shares[2], 3),
+    })
+
+    assert bfcl_shares[1] > 0.5          # Level 1 dominates BFCL
+    assert geo_shares[2] > bfcl_shares[2]  # Level 2 is a GeoEngine phenomenon
+    assert geo_shares[2] > 0.2

@@ -1,0 +1,56 @@
+"""Edge-device what-if profiler for LLM function calling.
+
+Uses the Jetson AGX Orin hardware model directly to answer deployment
+questions the paper's Table II touches: how do context window, tool
+count and quantization drive per-query latency, power and memory?
+
+Run:  python examples/edge_profiler.py
+"""
+
+from __future__ import annotations
+
+from repro.hardware import InferenceRequest, simulate_inference
+from repro.hardware.memory import footprint_gb
+from repro.llm import get_quant_spec
+from repro.llm.tokens import AGENT_SYSTEM_TOKENS
+
+TOKENS_PER_TOOL = 145  # measured average over both catalogs
+
+
+def profile_call(n_tools: int, window: int, quant: str, output_tokens: int = 120):
+    spec = get_quant_spec(quant)
+    prompt = AGENT_SYSTEM_TOKENS + n_tools * TOKENS_PER_TOOL + 40
+    trace = simulate_inference(InferenceRequest(
+        params_b=8.0,
+        bits_per_weight=spec.bits_per_weight,
+        prompt_tokens=min(prompt, window - 1024),
+        generated_tokens=output_tokens,
+        context_window=window,
+        jitter_stream=f"profile-{n_tools}-{window}-{quant}",
+    ))
+    memory = footprint_gb(8.0, spec.bits_per_weight, window)
+    return trace, memory
+
+
+def main() -> None:
+    print("8B model on Jetson AGX Orin — one function-calling turn\n")
+    header = (f"{'tools':>5} {'window':>7} {'quant':>7} {'prefill':>8} "
+              f"{'decode':>7} {'total':>7} {'power':>7} {'memory':>7}")
+    print(header)
+    print("-" * len(header))
+    for quant in ("q4_0", "q4_K_M", "q8_0"):
+        for n_tools, window in ((46, 16384), (19, 16384), (19, 8192), (5, 8192)):
+            trace, memory = profile_call(n_tools, window, quant)
+            print(f"{n_tools:>5} {window:>7} {quant:>7} {trace.prefill_s:>7.1f}s "
+                  f"{trace.decode_s:>6.1f}s {trace.total_s:>6.1f}s "
+                  f"{trace.avg_power_w:>6.1f}W {memory:>6.1f}G")
+        print()
+
+    print("Notes:")
+    print(" * decode is memory-bandwidth-bound: q8_0 nearly halves tokens/s")
+    print(" * the (46 tools, 16K) row matches the paper's Table II default;")
+    print("   (19 tools, 8K) is the Less-is-More operating point")
+
+
+if __name__ == "__main__":
+    main()

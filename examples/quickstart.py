@@ -1,0 +1,42 @@
+"""Quickstart: run Less-is-More next to vanilla function calling.
+
+Builds the BFCL-like suite, runs ten queries through the default agent
+(all 51 tools, 16K window) and through Less-is-More (recommender +
+controller, 8K window), and prints the side-by-side outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_agent, build_less_is_more, load_suite
+
+
+def main() -> None:
+    suite = load_suite("bfcl", n_queries=10)
+    print(f"suite: {suite.name} | {suite.n_tools} tools | {len(suite.queries)} queries\n")
+
+    default_agent = build_agent("default", model="llama3.1-8b", quant="q4_K_M",
+                                suite=suite)
+    lis_agent = build_less_is_more(model="llama3.1-8b", quant="q4_K_M",
+                                   suite=suite, k=3)
+
+    header = (f"{'query':<52} {'scheme':<8} {'ok':<3} {'level':<5} "
+              f"{'#tools':>6} {'time':>7} {'power':>7}")
+    print(header)
+    print("-" * len(header))
+    for query in suite.queries:
+        for agent in (default_agent, lis_agent):
+            episode = agent.run(query)
+            level = episode.selected_level if episode.selected_level else "-"
+            print(f"{query.text[:50]:<52} {episode.scheme:<8} "
+                  f"{'yes' if episode.success else 'no':<3} {str(level):<5} "
+                  f"{episode.mean_tools_presented:>6.0f} "
+                  f"{episode.time_s:>6.1f}s {episode.avg_power_w:>6.1f}W")
+
+    print("\nLess-is-More presents a handful of tools instead of all "
+          f"{suite.n_tools}, cutting time and power while lifting accuracy.")
+
+
+if __name__ == "__main__":
+    main()

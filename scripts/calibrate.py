@@ -1,0 +1,63 @@
+"""Calibration console: paper targets vs simulator output.
+
+Run:  python scripts/calibrate.py [n_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.evaluation.metrics import normalize
+from repro.evaluation.reporting import render_metric_table
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+
+def table1(n: int) -> None:
+    suite_bfcl = load_suite("bfcl", n_queries=n)
+    suite_geo = load_suite("geoengine", n_queries=n)
+    print("=== Table I: llama3.1-8b default agent ===")
+    print("paper BFCL: full 63.0 | q4_0 20.4 | q4_1 34.4 | q4_K_M 39.6 | q8_0 44.4")
+    print("paper GEO : full 63.9 | q4_0 43.0 | q4_1 59.6 | q4_K_M 57.0 | q8_0 53.0")
+    for suite in (suite_bfcl, suite_geo):
+        runner = ExperimentRunner(suite)
+        rows = {}
+        for quant in ("full", "q4_0", "q4_1", "q4_K_M", "q8_0"):
+            run = runner.run("default", "llama3.1-8b", quant)
+            rows[f"{suite.name} {quant}"] = run.summary
+        print(render_metric_table(rows))
+
+
+def figures(n: int) -> None:
+    for suite_name, models in (
+        ("bfcl", ["hermes2-pro-8b", "llama3.1-8b", "mistral-8b", "phi3-8b",
+                  "qwen2-1.5b", "qwen2-7b"]),
+        ("geoengine", ["hermes2-pro-8b", "llama3.1-8b", "mistral-8b", "qwen2-7b",
+                       "phi3-8b", "qwen2-1.5b"]),
+    ):
+        suite = load_suite(suite_name, n_queries=n)
+        runner = ExperimentRunner(suite)
+        print(f"\n=== Figure ({suite_name}) q4_K_M ===")
+        for model in models:
+            base = runner.run("default", model, "q4_K_M")
+            rows = {f"{model} default": base.summary}
+            for scheme in ("gorilla", "lis-k3", "lis-k5"):
+                rows[f"{model} {scheme}"] = runner.run(scheme, model, "q4_K_M").summary
+            print(render_metric_table(rows))
+            for scheme in ("gorilla", "lis-k3", "lis-k5"):
+                norm = normalize(rows[f"{model} {scheme}"], base.summary)
+                print(f"    {scheme:<8} norm_time={norm.normalized_time:.2f} "
+                      f"norm_power={norm.normalized_power:.2f}")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    start = time.time()
+    table1(n)
+    figures(n)
+    print(f"\n[{time.time() - start:.1f}s for n={n}]")
+
+
+if __name__ == "__main__":
+    main()

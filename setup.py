@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs cannot build; keeping a setup.py
+(and no ``[build-system]`` table) lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path, which works fully offline.
+"""
+
+from setuptools import setup
+
+setup()

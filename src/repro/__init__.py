@@ -1,0 +1,35 @@
+"""Reproduction of *Less is More: Optimizing Function Calling for LLM
+Execution on Edge Devices* (DATE 2025).
+
+The package is organised as a stack of substrates (embedding, vector
+search, clustering, tools, benchmark suites, a behavioural LLM simulator
+and an edge-hardware model) with the paper's contribution — the
+Less-is-More dynamic tool-selection pipeline — implemented in
+:mod:`repro.core` on top of them.
+
+Quickstart::
+
+    from repro import build_less_is_more, load_suite
+
+    suite = load_suite("bfcl")
+    agent = build_less_is_more(model="llama3.1-8b", quant="q4_K_M",
+                               suite=suite, k=3)
+    episode = agent.run(suite.queries[0])
+    print(episode.success, episode.selected_level)
+"""
+
+from repro.api import (
+    build_agent,
+    build_less_is_more,
+    load_model,
+    load_suite,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "build_agent",
+    "build_less_is_more",
+    "load_model",
+    "load_suite",
+]

@@ -1,0 +1,45 @@
+"""Top-level convenience constructors.
+
+These helpers wire the full stack (suite → embedder → search levels →
+simulated LLM → hardware model → agent) with the defaults used in the
+paper's evaluation, so examples and quick experiments stay one-liners.
+All imports are local so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+
+def load_suite(name: str, n_queries: int | None = None, seed: int | None = None):
+    """Load a benchmark suite by name (``"bfcl"`` or ``"geoengine"``).
+
+    ``n_queries`` defaults to the paper's mini-batch size of 230.
+    """
+    from repro.suites import load_suite as _load
+
+    return _load(name, n_queries=n_queries, seed=seed)
+
+
+def load_model(model: str, quant: str = "q4_K_M"):
+    """Instantiate a simulated edge LLM (e.g. ``"llama3.1-8b"``)."""
+    from repro.llm import SimulatedLLM
+
+    return SimulatedLLM.from_registry(model, quant)
+
+
+def build_less_is_more(model: str, quant: str, suite, k: int = 3, **kwargs):
+    """Build a ready-to-run Less-is-More agent for ``suite``."""
+    from repro.core import LessIsMoreAgent
+
+    return LessIsMoreAgent.build(model=model, quant=quant, suite=suite, k=k, **kwargs)
+
+
+def build_agent(scheme: str, model: str, quant: str, suite, **kwargs):
+    """Build any evaluated agent: ``"default"``, ``"gorilla"``, ``"lis"``
+    or ``"toolllm"``.
+    """
+    from repro.baselines import build_baseline
+    from repro.core import LessIsMoreAgent
+
+    if scheme == "lis":
+        return LessIsMoreAgent.build(model=model, quant=quant, suite=suite, **kwargs)
+    return build_baseline(scheme, model=model, quant=quant, suite=suite, **kwargs)

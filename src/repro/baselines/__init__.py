@@ -1,0 +1,41 @@
+"""Baselines the paper compares against.
+
+* :class:`DefaultAgent` — vanilla function calling: all tools, 16K
+  window (the "default execution" in Figures 2/3 and Table I);
+* :class:`GorillaAgent` — query-embedding similarity retrieval against
+  the full tool ontology (Level-1-only search), docs-style call
+  generation at an 8K window;
+* :class:`ToolLLMAgent` — DFSDT-style tree search over the tool set;
+  included for completeness — the paper could not fit it on the board,
+  and :meth:`ToolLLMAgent.memory_requirement_gb` reproduces why.
+"""
+
+from repro.baselines.default_agent import DefaultAgent
+from repro.baselines.gorilla import GorillaAgent
+from repro.baselines.toolllm import ToolLLMAgent, ToolLLMMemoryError
+
+
+def build_baseline(scheme: str, model: str, quant: str, suite, **kwargs):
+    """Construct a baseline agent by scheme name."""
+    from repro.llm import SimulatedLLM
+
+    agents = {
+        "default": DefaultAgent,
+        "gorilla": GorillaAgent,
+        "toolllm": ToolLLMAgent,
+    }
+    try:
+        cls = agents[scheme.lower()]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(agents)}") from None
+    llm = SimulatedLLM.from_registry(model, quant)
+    return cls(llm=llm, suite=suite, **kwargs)
+
+
+__all__ = [
+    "DefaultAgent",
+    "GorillaAgent",
+    "ToolLLMAgent",
+    "ToolLLMMemoryError",
+    "build_baseline",
+]

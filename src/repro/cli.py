@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        evaluate one (scheme, model, quant) batch on a suite
+``compare``    default vs Gorilla vs LiS side-by-side with error bars
+``levels``     inspect the offline Search Levels built for a suite
+``profile``    cost one hypothetical function-calling turn on the Orin
+
+Examples::
+
+    python -m repro run --suite bfcl --scheme lis-k3 --model llama3.1-8b
+    python -m repro compare --suite geoengine --model hermes2-pro-8b -n 60
+    python -m repro levels --suite geoengine
+    python -m repro profile --tools 46 --window 16384 --quant q4_K_M
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation.metrics import normalize
+from repro.evaluation.reporting import render_metric_table
+from repro.evaluation.runner import ExperimentRunner
+from repro.evaluation.stats import success_rate_ci
+from repro.suites import load_suite
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", default="bfcl", choices=["bfcl", "geoengine"])
+    parser.add_argument("--model", default="llama3.1-8b")
+    parser.add_argument("--quant", default="q4_K_M")
+    parser.add_argument("-n", "--queries", type=int, default=60,
+                        help="queries per batch (paper: 230)")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
+    run = runner.run(args.scheme, args.model, args.quant)
+    label = f"{args.scheme} {args.model}-{args.quant}"
+    print(render_metric_table({label: run.summary},
+                              title=f"{args.suite} | {args.queries} queries"))
+    ci = success_rate_ci(run.episodes)
+    print(f"success 95% CI: [{ci.low:.1%}, {ci.high:.1%}]")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
+    schemes = ["default", "gorilla", "lis-k3", "lis-k5"]
+    runs = {scheme: runner.run(scheme, args.model, args.quant) for scheme in schemes}
+    print(render_metric_table(
+        {scheme: run.summary for scheme, run in runs.items()},
+        title=f"{args.suite} | {args.model}-{args.quant} | {args.queries} queries"))
+    base = runs["default"].summary
+    for scheme in schemes[1:]:
+        norm = normalize(runs[scheme].summary, base)
+        print(f"  {scheme:<8} vs default: time x{norm.normalized_time:.2f}, "
+              f"power x{norm.normalized_power:.2f}")
+    return 0
+
+
+def cmd_levels(args: argparse.Namespace) -> int:
+    from repro.core.levels import SearchLevelBuilder
+
+    suite = load_suite(args.suite, n_queries=args.queries)
+    levels = SearchLevelBuilder().build(suite)
+    print(f"{suite.name}: {suite.n_tools} tools -> Level 1 index "
+          f"({len(levels.tool_index)} vectors), Level 2 "
+          f"({levels.n_clusters} clusters)")
+    for cluster in levels.clusters:
+        print(f"  cluster {cluster.cluster_id} "
+              f"({cluster.n_samples} samples): {', '.join(cluster.tools)}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.hardware import InferenceRequest, simulate_inference
+    from repro.hardware.power_modes import orin_in_mode
+    from repro.llm import get_quant_spec
+    from repro.llm.tokens import AGENT_SYSTEM_TOKENS
+
+    spec = get_quant_spec(args.quant)
+    device = orin_in_mode(args.power_mode)
+    prompt = AGENT_SYSTEM_TOKENS + args.tools * 150 + 40
+    trace = simulate_inference(InferenceRequest(
+        params_b=args.params_b, bits_per_weight=spec.bits_per_weight,
+        prompt_tokens=min(prompt, args.window - 1024),
+        generated_tokens=args.output_tokens, context_window=args.window,
+        jitter_stream="cli-profile",
+    ), device=device)
+    print(f"{args.tools} tools | {args.window} window | {args.quant} | "
+          f"{args.power_mode}")
+    print(f"  prefill {trace.prefill_s:.1f}s + decode {trace.decode_s:.1f}s "
+          f"= {trace.total_s:.1f}s at {trace.avg_power_w:.1f}W "
+          f"({trace.energy_j:.0f} J, {trace.peak_memory_gb:.1f} GB)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Less-is-More reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="evaluate one batch")
+    _add_common(run_parser)
+    run_parser.add_argument("--scheme", default="lis-k3")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="all schemes side by side")
+    _add_common(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    levels_parser = sub.add_parser("levels", help="inspect Search Levels")
+    _add_common(levels_parser)
+    levels_parser.set_defaults(func=cmd_levels)
+
+    profile_parser = sub.add_parser("profile", help="cost one LLM turn")
+    profile_parser.add_argument("--tools", type=int, default=46)
+    profile_parser.add_argument("--window", type=int, default=16384)
+    profile_parser.add_argument("--quant", default="q4_K_M")
+    profile_parser.add_argument("--params-b", type=float, default=8.0)
+    profile_parser.add_argument("--output-tokens", type=int, default=130)
+    profile_parser.add_argument("--power-mode", default="MAXN",
+                                choices=["MAXN", "30W", "15W"])
+    profile_parser.set_defaults(func=cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Pairwise distance computations for clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Return the symmetric ``(n, n)`` distance matrix.
+
+    Supported metrics: ``euclidean`` and ``cosine`` (1 - cosine
+    similarity, the natural choice for unit-norm sentence embeddings).
+    """
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+    if metric == "euclidean":
+        sq = np.sum(vectors**2, axis=1)
+        dists = sq[:, None] - 2.0 * (vectors @ vectors.T) + sq[None, :]
+        np.maximum(dists, 0.0, out=dists)
+        matrix = np.sqrt(dists)
+    elif metric == "cosine":
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        unit = vectors / norms
+        matrix = 1.0 - unit @ unit.T
+        np.clip(matrix, 0.0, 2.0, out=matrix)
+    else:
+        raise ValueError(f"unknown metric {metric!r}; use 'euclidean' or 'cosine'")
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

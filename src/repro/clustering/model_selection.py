@@ -1,0 +1,46 @@
+"""Cluster-count selection for Level-2 construction.
+
+The paper does not publish its cluster count; ``SearchLevelBuilder``
+defaults to a pool-size heuristic.  This module provides a principled
+alternative — silhouette-scanning over a candidate range — exposed via
+``SearchLevelBuilder(n_clusters="auto")`` and exercised by the Level-2
+ablation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.agglomerative import AgglomerativeClustering
+from repro.clustering.silhouette import silhouette_score
+
+
+def select_n_clusters(
+    vectors: np.ndarray,
+    k_min: int = 4,
+    k_max: int | None = None,
+    linkage: str = "ward",
+    metric: str = "euclidean",
+) -> tuple[int, dict[int, float]]:
+    """Pick the cluster count maximising the silhouette coefficient.
+
+    Returns ``(best_k, {k: score})``.  A single dendrogram is built and
+    cut at every candidate ``k`` (agglomerative clustering's free lunch),
+    so the scan costs one clustering run plus cheap cuts.
+    """
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+    n = vectors.shape[0]
+    if n < 3:
+        return max(1, n), {max(1, n): 0.0}
+    k_max = min(k_max if k_max is not None else n // 2, n - 1)
+    k_min = max(2, min(k_min, k_max))
+
+    model = AgglomerativeClustering(n_clusters=k_min, linkage=linkage, metric=metric)
+    dendrogram = model.build_dendrogram(vectors)
+
+    scores: dict[int, float] = {}
+    for k in range(k_min, k_max + 1):
+        labels = dendrogram.cut(n_clusters=k)
+        scores[k] = silhouette_score(vectors, labels, metric=metric)
+    best_k = max(scores, key=lambda k: (scores[k], -k))
+    return best_k, scores

@@ -1,0 +1,41 @@
+"""Silhouette coefficient for validating cluster quality."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.distances import pairwise_distances
+
+
+def silhouette_score(vectors: np.ndarray, labels: np.ndarray, metric: str = "euclidean") -> float:
+    """Mean silhouette coefficient over all samples.
+
+    Returns 0.0 when every point is in one cluster or every point is its
+    own cluster (the coefficient is undefined there; 0 is the neutral
+    convention).
+    """
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+    labels = np.asarray(labels)
+    if vectors.shape[0] != labels.shape[0]:
+        raise ValueError("vectors and labels length mismatch")
+    unique = np.unique(labels)
+    n = vectors.shape[0]
+    if len(unique) < 2 or len(unique) >= n:
+        return 0.0
+    dist = pairwise_distances(vectors, metric=metric)
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        if not np.any(same):
+            scores[i] = 0.0
+            continue
+        a = float(np.mean(dist[i, same]))
+        b = min(
+            float(np.mean(dist[i, labels == other]))
+            for other in unique
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0.0 else (b - a) / denom
+    return float(np.mean(scores))

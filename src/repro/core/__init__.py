@@ -1,0 +1,36 @@
+"""Less-is-More: the paper's contribution.
+
+Three cooperating pieces (paper Figure 1):
+
+* :class:`SearchLevelBuilder` / :class:`SearchLevels` — the offline
+  latent spaces: Level 1 (individual tool embeddings, ``T``), Level 2
+  (clusters over the GPT-4-augmented query space, ``A``), Level 3 (the
+  full tool set, no search).
+* The **Tool Recommender** — the deployed LLM itself, prompted with *no
+  tools*, emitting "ideal tool" descriptions (implemented by
+  :meth:`repro.llm.SimulatedLLM.recommend_tools`).
+* :class:`ToolController` — k-NN of the recommender embeddings against
+  Levels 1 and 2, level arbitration by average top-k score, with the
+  paper's two fallbacks (low-confidence -> Level 3; runtime error ->
+  retry, then Level 3).
+
+:class:`LessIsMoreAgent` wires them into a runnable agent and produces
+:class:`~repro.core.episode.EpisodeResult` records that the evaluation
+harness converts into the paper's four metrics.
+"""
+
+from repro.core.controller import ControllerDecision, ToolController
+from repro.core.episode import EpisodeResult, StepRecord
+from repro.core.levels import SearchLevelBuilder, SearchLevels, ToolCluster
+from repro.core.pipeline import LessIsMoreAgent
+
+__all__ = [
+    "ControllerDecision",
+    "EpisodeResult",
+    "LessIsMoreAgent",
+    "SearchLevelBuilder",
+    "SearchLevels",
+    "StepRecord",
+    "ToolCluster",
+    "ToolController",
+]

@@ -1,0 +1,136 @@
+"""The Tool Controller: level arbitration + tool subset selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.levels import SearchLevels
+
+#: Paper Section III-C: "if both average top-k scores are below 0.5 ...
+#: we default to presenting all tools (Level 3)".  The 0.5 value is on
+#: MPNet's cosine scale, where unrelated sentence pairs still score
+#: ~0.3-0.5; our lexical-semantic embedder is colder (unrelated pairs
+#: score near 0), so the equivalent low-confidence cutoff is ~0.30.
+DEFAULT_CONFIDENCE_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """Outcome of one controller invocation.
+
+    ``level`` is 1, 2 or 3; ``tools`` is the subset to present (for
+    Level 3 it is the full pool).  The two scores are the average top-k
+    similarities the arbitration compared.
+    """
+
+    level: int
+    tools: tuple[str, ...]
+    level1_score: float
+    level2_score: float
+
+    @property
+    def n_tools(self) -> int:
+        return len(self.tools)
+
+
+class ToolController:
+    """k-NN search over the Search Levels with the paper's arbitration.
+
+    For every recommender embedding the controller retrieves the top-k
+    individual tools (Level 1) and top-k clusters (Level 2), compares the
+    average top-k scores, and presents the union of the winning level's
+    retrievals.  Confidence below ``threshold`` on both levels falls back
+    to the entire tool set (Level 3).
+    """
+
+    def __init__(
+        self,
+        levels: SearchLevels,
+        k: int = 3,
+        confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+        max_level2_clusters: int | None = None,
+        multi_need_margin: float = 0.85,
+        force_level: int | None = None,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if force_level not in (None, 1, 2, 3):
+            raise ValueError(f"force_level must be 1, 2, 3 or None, got {force_level}")
+        self.levels = levels
+        self.k = k
+        self.confidence_threshold = confidence_threshold
+        # how many clusters may contribute tools; defaults to k (the
+        # retrieved set), matching the paper's "top-k ... clusters"
+        self.max_level2_clusters = max_level2_clusters or k
+        # paper Section III-C intuition: "LLM recommendations involving
+        # multiple tools are more likely to match a tool cluster" — when
+        # the recommender emitted several tool needs, prefer Level 2 as
+        # long as its score is within this fraction of Level 1's
+        self.multi_need_margin = multi_need_margin
+        # ablation hook: bypass arbitration and always use one level
+        self.force_level = force_level
+
+    def decide(self, recommendation_vectors: np.ndarray) -> ControllerDecision:
+        """Arbitrate levels for a batch of recommender embeddings (``E``)."""
+        vectors = np.atleast_2d(np.asarray(recommendation_vectors, dtype=float))
+        if vectors.shape[0] == 0 or len(self.levels.tool_index) == 0:
+            return self._level3(0.0, 0.0)
+
+        level1_results = self.levels.tool_index.search(vectors, self.k)
+        level1_score = float(np.mean([result.mean_score() for result in level1_results]))
+        level1_top1 = max(float(result.scores[0]) for result in level1_results)
+
+        if len(self.levels.cluster_index) > 0:
+            level2_results = self.levels.cluster_index.search(vectors, self.k)
+            level2_score = float(np.mean([result.mean_score() for result in level2_results]))
+            level2_top1 = max(float(result.scores[0]) for result in level2_results)
+        else:
+            level2_results = []
+            level2_score = 0.0
+            level2_top1 = 0.0
+
+        if self.force_level == 3:
+            return self._level3(level1_score, level2_score)
+
+        # low-confidence fallback: judged on the best top-1 match (robust
+        # to k, unlike the mean which shrinks as k grows), arbitration
+        # between levels on the average top-k score as in the paper
+        if (self.force_level is None
+                and max(level1_top1, level2_top1) < self.confidence_threshold):
+            return self._level3(level1_score, level2_score)
+
+        multi_need = vectors.shape[0] >= 2
+        level2_preferred = (
+            level2_score > level1_score
+            or (multi_need and level2_results
+                and level2_score >= self.multi_need_margin * level1_score)
+        )
+        if self.force_level is not None:
+            level2_preferred = self.force_level == 2 and bool(level2_results)
+        if not level2_preferred:
+            tools: dict[str, None] = {}
+            for result in level1_results:
+                for tool_id in result.ids:
+                    tools.setdefault(self.levels.tool_names[int(tool_id)], None)
+            return ControllerDecision(1, tuple(tools), level1_score, level2_score)
+
+        # Level 2: rank clusters by their best score over recommendations,
+        # union the member tools of the strongest clusters.
+        cluster_scores: dict[int, float] = {}
+        for result in level2_results:
+            for score, cluster_id in zip(result.scores, result.ids):
+                cluster_id = int(cluster_id)
+                cluster_scores[cluster_id] = max(cluster_scores.get(cluster_id, -np.inf),
+                                                 float(score))
+        ranked = sorted(cluster_scores, key=lambda cid: cluster_scores[cid], reverse=True)
+        tools = {}
+        for cluster_id in ranked[: self.max_level2_clusters]:
+            for tool in self.levels.tools_of_cluster(cluster_id):
+                tools.setdefault(tool, None)
+        return ControllerDecision(2, tuple(tools), level1_score, level2_score)
+
+    def _level3(self, level1_score: float, level2_score: float) -> ControllerDecision:
+        return ControllerDecision(3, tuple(self.levels.all_tools),
+                                  level1_score, level2_score)

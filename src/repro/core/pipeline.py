@@ -1,0 +1,111 @@
+"""The Less-is-More agent: recommender -> controller -> reduced call."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent_base import (
+    DEFAULT_CONTEXT_WINDOW,
+    EMBEDDING_OVERHEAD_S,
+    KNN_OVERHEAD_S,
+    REDUCED_CONTEXT_WINDOW,
+    FunctionCallingAgent,
+    ToolPlan,
+)
+from repro.core.controller import ToolController
+from repro.core.levels import SearchLevelBuilder, SearchLevels
+from repro.embedding.cache import CachedEmbedder, shared_embedder
+from repro.hardware import JETSON_AGX_ORIN, DeviceProfile
+from repro.llm import SimulatedLLM
+from repro.suites.base import BenchmarkSuite, Query
+
+
+class LessIsMoreAgent(FunctionCallingAgent):
+    """Fine-tuning-free dynamic tool selection (the paper's method).
+
+    Per query:
+
+    1. the deployed LLM is prompted *without tools* and emits "ideal
+       tool" descriptions (Tool Recommender);
+    2. the descriptions (with the query as context) are embedded with the
+       MPNet-substitute and k-NN-matched against Search Levels 1 and 2;
+    3. the Controller picks the level with the higher average top-k score
+       (below-threshold confidence -> Level 3 / all tools) and the agent
+       performs function calling with only the selected subset at an 8K
+       context window;
+    4. if the LLM signals failure twice, the step escalates to Level 3
+       at the default 16K window (the paper's fallback).
+    """
+
+    scheme = "lis"
+    fallback_to_all = True
+
+    def __init__(
+        self,
+        llm: SimulatedLLM,
+        suite: BenchmarkSuite,
+        levels: SearchLevels,
+        k: int = 3,
+        confidence_threshold: float | None = None,
+        context_window: int = REDUCED_CONTEXT_WINDOW,
+        device: DeviceProfile = JETSON_AGX_ORIN,
+        embedder: CachedEmbedder | None = None,
+        force_level: int | None = None,
+    ):
+        super().__init__(llm=llm, suite=suite, device=device)
+        self.levels = levels
+        self.k = k
+        self.context_window = context_window
+        self.embedder = embedder if embedder is not None else shared_embedder()
+        controller_kwargs = {"k": k, "force_level": force_level}
+        if confidence_threshold is not None:
+            controller_kwargs["confidence_threshold"] = confidence_threshold
+        self.controller = ToolController(levels, **controller_kwargs)
+        self._corpus = suite.registry.descriptions()
+
+    @classmethod
+    def build(
+        cls,
+        model: str,
+        quant: str,
+        suite: BenchmarkSuite,
+        k: int = 3,
+        levels: SearchLevels | None = None,
+        **kwargs,
+    ) -> "LessIsMoreAgent":
+        """Construct the full pipeline from registry names.
+
+        ``levels`` may be passed to reuse an offline-built index across
+        agents (they are model-independent).
+        """
+        llm = SimulatedLLM.from_registry(model, quant)
+        if levels is None:
+            levels = SearchLevelBuilder().build(suite)
+        return cls(llm=llm, suite=suite, levels=levels, k=k, **kwargs)
+
+    def plan(self, query: Query) -> ToolPlan:
+        recommendation = self.llm.recommend_tools(
+            query, self.suite.registry, corpus_descriptions=self._corpus,
+        )
+        # paper Section III-B: the recommended descriptions are embedded
+        # "alongside the corresponding user task" — realised as a convex
+        # blend so the description still dominates the match while the
+        # task context disambiguates multi-tool workflows
+        query_vec = self.embedder.encode_one(query.text)
+        vectors = self.embedder.encode(list(recommendation.descriptions))
+        vectors = 0.75 * vectors + 0.25 * query_vec[None, :]
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        vectors = vectors / norms
+        decision = self.controller.decide(vectors)
+        window = (self.context_window if decision.level in (1, 2)
+                  else DEFAULT_CONTEXT_WINDOW)
+        overhead = (EMBEDDING_OVERHEAD_S * len(recommendation.descriptions)
+                    + 2 * KNN_OVERHEAD_S)
+        return ToolPlan(
+            tools=self.suite.registry.subset(decision.tools),
+            context_window=window,
+            level=decision.level,
+            overhead_s=overhead,
+            pre_usages=[recommendation.usage],
+        )

@@ -1,0 +1,55 @@
+"""Memoizing wrapper around a sentence embedder.
+
+Tool descriptions and benchmark queries are embedded many times across
+schemes and models during an evaluation sweep; a shared cache keeps the
+whole Figure-2 grid tractable without changing any semantics (the
+embedder is deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.sentence import SentenceEmbedder
+
+
+class CachedEmbedder:
+    """Deterministic embedder with an unbounded text -> vector cache."""
+
+    def __init__(self, embedder: SentenceEmbedder | None = None):
+        self.embedder = embedder if embedder is not None else SentenceEmbedder()
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        return self.embedder.dim
+
+    def encode_one(self, text: str) -> np.ndarray:
+        """Embed one string, reusing the cached vector when available."""
+        vec = self._cache.get(text)
+        if vec is None:
+            vec = self.embedder.encode_one(text)
+            self._cache[text] = vec
+        return vec
+
+    def encode(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Embed a batch through the cache."""
+        if isinstance(texts, str):
+            raise TypeError("encode() expects a sequence of strings")
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.encode_one(text) for text in texts])
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+_SHARED: CachedEmbedder | None = None
+
+
+def shared_embedder() -> CachedEmbedder:
+    """Process-wide cached embedder (the default for agents/pipelines)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = CachedEmbedder()
+    return _SHARED

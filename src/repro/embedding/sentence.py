@@ -1,0 +1,120 @@
+"""Sentence embedder: weighted bag-of-features under a random projection."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.embedding.lexicon import ConceptLexicon, default_lexicon
+from repro.embedding.tokenizer import Tokenizer
+from repro.utils.hashing import stable_hash64
+
+#: Relative weight of each feature family in the summed embedding.
+FAMILY_WEIGHTS = {
+    "concept": 3.0,
+    "token": 1.0,
+    "bigram": 0.8,
+    "trigram": 0.25,
+}
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is all-zero)."""
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+class SentenceEmbedder:
+    """Deterministic 768-d sentence embedder (MPNet substitute).
+
+    Parameters
+    ----------
+    dim:
+        Output dimensionality.  The paper uses 768 (Section III-A; the
+        text also mentions "728" once — we treat that as a typo).
+    lexicon:
+        Synonym→concept table; defaults to the shared domain lexicon.
+    seed_namespace:
+        Distinct namespaces produce statistically independent projections,
+        used by ablations that re-roll the projection matrix.
+    """
+
+    def __init__(
+        self,
+        dim: int = 768,
+        lexicon: ConceptLexicon | None = None,
+        seed_namespace: str = "mpnet-substitute",
+    ):
+        if dim < 8:
+            raise ValueError(f"embedding dim must be >= 8, got {dim}")
+        self.dim = int(dim)
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.seed_namespace = seed_namespace
+        self._tokenizer = Tokenizer()
+        self._direction_cache: dict[tuple[str, str], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # feature extraction
+    # ------------------------------------------------------------------
+    def features(self, text: str) -> Counter:
+        """Return the weighted feature multiset for ``text``.
+
+        Keys are ``(family, feature)`` tuples; values are raw counts.
+        """
+        tokens = self._tokenizer.tokenize(text)
+        counts: Counter = Counter()
+        for token in tokens:
+            counts[("token", token)] += 1
+            for concept in self.lexicon.lookup(token):
+                counts[("concept", concept)] += 1
+        for first, second in zip(tokens, tokens[1:]):
+            counts[("bigram", f"{first} {second}")] += 1
+            for concept in self.lexicon.lookup_phrase(f"{first} {second}"):
+                counts[("concept", concept)] += 1
+        for trigram in self._tokenizer.char_trigrams(text):
+            counts[("trigram", trigram)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
+    def _direction(self, family: str, feature: str) -> np.ndarray:
+        """Fixed pseudo-random unit direction for one feature id."""
+        key = (family, feature)
+        cached = self._direction_cache.get(key)
+        if cached is not None:
+            return cached
+        seed = stable_hash64(self.seed_namespace, self.dim, family, feature)
+        rng = np.random.default_rng(seed)
+        vec = rng.standard_normal(self.dim)
+        vec /= np.linalg.norm(vec)
+        self._direction_cache[key] = vec
+        return vec
+
+    def encode_one(self, text: str) -> np.ndarray:
+        """Embed a single string into a unit-norm ``dim``-vector."""
+        counts = self.features(text)
+        vec = np.zeros(self.dim)
+        for (family, feature), count in counts.items():
+            weight = FAMILY_WEIGHTS[family] * (1.0 + np.log(count))
+            vec += weight * self._direction(family, feature)
+        norm = float(np.linalg.norm(vec))
+        if norm > 0.0:
+            vec /= norm
+        return vec
+
+    def encode(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Embed a batch of strings into an ``(n, dim)`` float array."""
+        if isinstance(texts, str):
+            raise TypeError("encode() expects a sequence of strings; use encode_one()")
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.encode_one(text) for text in texts])
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity between the embeddings of two strings."""
+        return cosine_similarity(self.encode_one(text_a), self.encode_one(text_b))

@@ -1,0 +1,84 @@
+"""JSON persistence for evaluation runs.
+
+Sweeps over the full model x quant x scheme grid are expensive; this
+module round-trips :class:`~repro.evaluation.runner.EvaluationRun`
+batches to JSON so figures can be re-rendered (or compared across
+calibrations) without re-running episodes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.episode import EpisodeResult, StepRecord
+from repro.evaluation.metrics import summarize
+from repro.evaluation.runner import EvaluationRun
+
+
+def episode_to_dict(episode: EpisodeResult) -> dict[str, Any]:
+    """Flatten one episode to JSON-compatible primitives."""
+    return {
+        "qid": episode.qid,
+        "scheme": episode.scheme,
+        "model": episode.model,
+        "quant": episode.quant,
+        "selected_level": episode.selected_level,
+        "fallback_used": episode.fallback_used,
+        "time_s": episode.time_s,
+        "energy_j": episode.energy_j,
+        "avg_power_w": episode.avg_power_w,
+        "peak_memory_gb": episode.peak_memory_gb,
+        "n_llm_calls": episode.n_llm_calls,
+        "prompt_tokens": episode.prompt_tokens,
+        "completion_tokens": episode.completion_tokens,
+        "steps": [
+            {
+                "step_index": step.step_index,
+                "tool_called": step.tool_called,
+                "correct_tool": step.correct_tool,
+                "execution_ok": step.execution_ok,
+                "n_tools_presented": step.n_tools_presented,
+                "retried": step.retried,
+            }
+            for step in episode.steps
+        ],
+    }
+
+
+def episode_from_dict(payload: dict[str, Any]) -> EpisodeResult:
+    """Inverse of :func:`episode_to_dict`."""
+    episode = EpisodeResult(
+        qid=payload["qid"], scheme=payload["scheme"],
+        model=payload["model"], quant=payload["quant"],
+        selected_level=payload["selected_level"],
+        fallback_used=payload["fallback_used"],
+        time_s=payload["time_s"], energy_j=payload["energy_j"],
+        avg_power_w=payload["avg_power_w"],
+        peak_memory_gb=payload["peak_memory_gb"],
+        n_llm_calls=payload["n_llm_calls"],
+        prompt_tokens=payload["prompt_tokens"],
+        completion_tokens=payload["completion_tokens"],
+    )
+    episode.steps = [StepRecord(**step) for step in payload["steps"]]
+    return episode
+
+
+def dump_run(run: EvaluationRun) -> str:
+    """Serialize one evaluation batch (episodes carry all information)."""
+    return json.dumps({
+        "scheme": run.scheme,
+        "model": run.model,
+        "quant": run.quant,
+        "episodes": [episode_to_dict(episode) for episode in run.episodes],
+    })
+
+
+def load_run(data: str) -> EvaluationRun:
+    """Rebuild a batch; the summary is recomputed from the episodes."""
+    payload = json.loads(data)
+    episodes = [episode_from_dict(item) for item in payload["episodes"]]
+    return EvaluationRun(
+        scheme=payload["scheme"], model=payload["model"], quant=payload["quant"],
+        episodes=episodes, summary=summarize(episodes),
+    )

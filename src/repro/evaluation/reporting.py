@@ -1,0 +1,48 @@
+"""Plain-text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import MetricSummary, NormalizedMetrics, normalize
+
+
+def render_metric_table(rows: dict[str, MetricSummary], title: str = "") -> str:
+    """Render absolute metrics, one row per configuration label."""
+    header = (f"{'configuration':<34} {'success':>8} {'tool acc':>9} "
+              f"{'time (s)':>9} {'power (W)':>10} {'#tools':>7}")
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for label, summary in rows.items():
+        lines.append(
+            f"{label:<34} {summary.success_rate:>7.1%} {summary.tool_accuracy:>8.1%} "
+            f"{summary.mean_time_s:>9.2f} {summary.avg_power_w:>10.2f} "
+            f"{summary.mean_tools_presented:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(rows: dict[str, NormalizedMetrics], title: str = "") -> str:
+    """Render a Figure-2/3-style series: normalized time/power columns."""
+    header = (f"{'configuration':<34} {'success':>8} {'tool acc':>9} "
+              f"{'norm time':>10} {'norm power':>11}")
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for label, row in rows.items():
+        lines.append(
+            f"{label:<34} {row.success_rate:>7.1%} {row.tool_accuracy:>8.1%} "
+            f"{row.normalized_time:>10.3f} {row.normalized_power:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def figure_series(runs: dict, model: str, quants: list[str],
+                  schemes: list[str]) -> dict[str, NormalizedMetrics]:
+    """Build one model's Figure-2/3 panel from a grid of runs.
+
+    Normalization follows the paper: each (model, quant) cell is divided
+    by the *default* scheme of the same (model, quant).
+    """
+    rows: dict[str, NormalizedMetrics] = {}
+    for quant in quants:
+        baseline = runs[("default", model, quant)].summary
+        for scheme in schemes:
+            summary = runs[(scheme, model, quant)].summary
+            rows[f"{model}-{quant} {scheme}"] = normalize(summary, baseline)
+    return rows

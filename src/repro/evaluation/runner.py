@@ -1,0 +1,98 @@
+"""Experiment runner: build agents, run batches, cache shared state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import DefaultAgent, GorillaAgent
+from repro.core.episode import EpisodeResult
+from repro.core.levels import SearchLevelBuilder, SearchLevels
+from repro.core.pipeline import LessIsMoreAgent
+from repro.embedding.cache import CachedEmbedder, shared_embedder
+from repro.evaluation.metrics import MetricSummary, summarize
+from repro.llm import SimulatedLLM
+from repro.suites.base import BenchmarkSuite
+
+
+@dataclass
+class EvaluationRun:
+    """One (scheme, model, quant) batch with its raw episodes."""
+
+    scheme: str
+    model: str
+    quant: str
+    episodes: list[EpisodeResult]
+    summary: MetricSummary
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.scheme, self.model, self.quant)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs evaluation batches over a suite with shared offline state.
+
+    Search Levels are model-independent, so they are built once per
+    runner and reused across the whole model x quant x scheme grid —
+    exactly the paper's one-time offline step.
+    """
+
+    suite: BenchmarkSuite
+    embedder: CachedEmbedder = field(default_factory=shared_embedder)
+    _levels: SearchLevels | None = None
+
+    @property
+    def levels(self) -> SearchLevels:
+        if self._levels is None:
+            self._levels = SearchLevelBuilder(embedder=self.embedder).build(self.suite)
+        return self._levels
+
+    # ------------------------------------------------------------------
+    # agent construction
+    # ------------------------------------------------------------------
+    def make_agent(self, scheme: str, model: str, quant: str, **kwargs):
+        """Build an agent for one grid cell.
+
+        Scheme names: ``default``, ``gorilla``, ``lis`` (alias
+        ``lis-k3``), ``lis-k5``, or any ``lis-k<N>``.
+        """
+        llm = SimulatedLLM.from_registry(model, quant)
+        scheme = scheme.lower()
+        if scheme == "default":
+            return DefaultAgent(llm=llm, suite=self.suite, **kwargs)
+        if scheme == "gorilla":
+            return GorillaAgent(llm=llm, suite=self.suite,
+                                embedder=self.embedder, **kwargs)
+        if scheme.startswith("lis"):
+            k = 3
+            if "-k" in scheme:
+                k = int(scheme.split("-k", 1)[1])
+            return LessIsMoreAgent(llm=llm, suite=self.suite, levels=self.levels,
+                                   k=k, embedder=self.embedder, **kwargs)
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, scheme: str, model: str, quant: str,
+            n_queries: int | None = None, **kwargs) -> EvaluationRun:
+        """Run one batch (default: every eval query in the suite)."""
+        agent = self.make_agent(scheme, model, quant, **kwargs)
+        queries = self.suite.queries if n_queries is None else self.suite.queries[:n_queries]
+        episodes = [agent.run(query) for query in queries]
+        return EvaluationRun(
+            scheme=scheme, model=model, quant=quant,
+            episodes=episodes, summary=summarize(episodes),
+        )
+
+    def run_grid(self, schemes: list[str], models: list[str], quants: list[str],
+                 n_queries: int | None = None) -> dict[tuple[str, str, str], EvaluationRun]:
+        """Run the full scheme x model x quant grid."""
+        results: dict[tuple[str, str, str], EvaluationRun] = {}
+        for model in models:
+            for quant in quants:
+                for scheme in schemes:
+                    run = self.run(scheme, model, quant, n_queries=n_queries)
+                    results[run.key] = run
+        return results

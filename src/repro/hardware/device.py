@@ -1,0 +1,68 @@
+"""Device profiles for the edge-inference model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """First-order performance/power description of an edge board.
+
+    Attributes
+    ----------
+    prefill_tokens_per_s_8b:
+        Prefill throughput for an 8-billion-parameter 4-bit model at
+        short context (tokens/second, compute-bound).
+    membw_gbs:
+        Peak DRAM bandwidth (GB/s).
+    decode_efficiency:
+        Fraction of peak bandwidth realised while streaming weights
+        during decode.
+    ctx_prefill_slowdown / ctx_decode_slowdown:
+        Linear attention-cost coefficients: throughput is divided by
+        ``1 + coeff * (live_context / 8192)``.
+    window_slowdown:
+        Memory-pressure slowdown from the *allocated* context window
+        (KV cache residency): time multiplier
+        ``1 + window_slowdown * (window / 32768)``.
+    idle_power_w / prefill_power_w / decode_power_w:
+        Idle board power and the *additional* dynamic power drawn during
+        each phase at full utilisation.
+    window_power_w:
+        Extra dynamic power per 32K tokens of allocated window (DRAM
+        refresh/occupancy pressure).
+    memory_gb:
+        Usable DRAM for weights + KV (the AGX Orin devkit has 32 GB,
+        shared with the OS).
+    """
+
+    name: str
+    prefill_tokens_per_s_8b: float
+    membw_gbs: float
+    decode_efficiency: float
+    ctx_prefill_slowdown: float
+    ctx_decode_slowdown: float
+    window_slowdown: float
+    idle_power_w: float
+    prefill_power_w: float
+    decode_power_w: float
+    window_power_w: float
+    memory_gb: float
+
+
+#: NVIDIA Jetson AGX Orin 32 GB devkit, calibrated to paper Table II.
+JETSON_AGX_ORIN = DeviceProfile(
+    name="jetson-agx-orin",
+    prefill_tokens_per_s_8b=800.0,
+    membw_gbs=204.8,
+    decode_efficiency=0.52,
+    ctx_prefill_slowdown=0.55,
+    ctx_decode_slowdown=0.35,
+    window_slowdown=0.85,
+    idle_power_w=7.0,
+    prefill_power_w=26.0,
+    decode_power_w=11.0,
+    window_power_w=8.0,
+    memory_gb=30.0,
+)

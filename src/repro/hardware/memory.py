@@ -1,0 +1,51 @@
+"""Memory-footprint model: quantized weights plus fp16 KV cache."""
+
+from __future__ import annotations
+
+#: Runtime overhead multiplier over raw weight bytes (activations,
+#: scratch buffers, tokenizer, graph).
+_WEIGHT_OVERHEAD = 1.12
+
+#: Llama-8B-class KV geometry used as the reference architecture:
+#: 32 layers x 8 KV heads x 128 head-dim x (K + V) x fp16.
+_KV_BYTES_PER_TOKEN_8B = 32 * 8 * 128 * 2 * 2
+
+
+def model_weights_gb(params_b: float, bits_per_weight: float) -> float:
+    """Resident size of the quantized weights in GB."""
+    if params_b <= 0:
+        raise ValueError(f"params_b must be positive, got {params_b}")
+    if bits_per_weight <= 0:
+        raise ValueError(f"bits_per_weight must be positive, got {bits_per_weight}")
+    raw_gb = params_b * bits_per_weight / 8.0
+    return raw_gb * _WEIGHT_OVERHEAD
+
+
+def kv_cache_gb(context_window: int, params_b: float = 8.0) -> float:
+    """KV-cache size for an allocated ``context_window``.
+
+    KV geometry scales roughly with model width*depth; we scale the
+    8B-class reference linearly in parameter count, which is accurate
+    enough for the 1.5B-8B models the paper evaluates.
+    """
+    if context_window < 0:
+        raise ValueError(f"context_window must be >= 0, got {context_window}")
+    per_token = _KV_BYTES_PER_TOKEN_8B * (params_b / 8.0)
+    return context_window * per_token / 1e9
+
+
+def footprint_gb(params_b: float, bits_per_weight: float, context_window: int,
+                 n_parallel_contexts: int = 1) -> float:
+    """Total resident footprint; ``n_parallel_contexts`` models tree-search
+    agents (ToolLLM) that keep several decoding branches alive."""
+    if n_parallel_contexts < 1:
+        raise ValueError("n_parallel_contexts must be >= 1")
+    return (
+        model_weights_gb(params_b, bits_per_weight)
+        + n_parallel_contexts * kv_cache_gb(context_window, params_b)
+    )
+
+
+def fits_on_device(required_gb: float, memory_gb: float) -> bool:
+    """Whether a footprint fits in the device's usable DRAM."""
+    return required_gb <= memory_gb

@@ -1,0 +1,72 @@
+"""Jetson AGX Orin nvpmodel power modes.
+
+The Orin devkit exposes capped power modes through ``nvpmodel`` (MAXN,
+30 W, 15 W); deployments commonly run capped for thermal headroom.  The
+paper measures MAXN; this module lets every experiment re-run under a cap
+(used by ``benchmarks/bench_ablation_power_modes.py``): clocks scale with
+the cap, so latency rises as power falls — the energy-per-query trade-off
+an edge deployment actually tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.device import JETSON_AGX_ORIN, DeviceProfile
+
+
+@dataclass(frozen=True)
+class PowerMode:
+    """One nvpmodel operating point.
+
+    ``compute_scale`` multiplies prefill throughput (GPU clocks) and
+    ``bandwidth_scale`` multiplies effective DRAM bandwidth (EMC clocks);
+    ``power_scale`` multiplies the dynamic power terms.
+    """
+
+    name: str
+    compute_scale: float
+    bandwidth_scale: float
+    power_scale: float
+
+    def __post_init__(self):
+        for field_name in ("compute_scale", "bandwidth_scale", "power_scale"):
+            value = getattr(self, field_name)
+            if not 0.05 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0.05, 1], got {value}")
+
+
+#: Published nvpmodel presets for the AGX Orin devkit, approximated from
+#: the MAXN / 30 W / 15 W clock tables.
+POWER_MODES: dict[str, PowerMode] = {
+    "MAXN": PowerMode("MAXN", 1.00, 1.00, 1.00),
+    "30W": PowerMode("30W", 0.72, 0.85, 0.68),
+    "15W": PowerMode("15W", 0.42, 0.55, 0.38),
+}
+
+
+def apply_power_mode(device: DeviceProfile, mode: str | PowerMode) -> DeviceProfile:
+    """Return a new device profile running under the given power mode."""
+    if isinstance(mode, str):
+        try:
+            mode = POWER_MODES[mode.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown power mode {mode!r}; choose from {sorted(POWER_MODES)}"
+            ) from None
+    return replace(
+        device,
+        name=f"{device.name}-{mode.name.lower()}",
+        prefill_tokens_per_s_8b=device.prefill_tokens_per_s_8b * mode.compute_scale,
+        membw_gbs=device.membw_gbs * mode.bandwidth_scale,
+        prefill_power_w=device.prefill_power_w * mode.power_scale,
+        decode_power_w=device.decode_power_w * mode.power_scale,
+        window_power_w=device.window_power_w * mode.power_scale,
+        # idle power barely moves with nvpmodel (always-on rails)
+        idle_power_w=device.idle_power_w * (0.75 + 0.25 * mode.power_scale),
+    )
+
+
+def orin_in_mode(mode: str) -> DeviceProfile:
+    """Convenience: the AGX Orin profile under an nvpmodel preset."""
+    return apply_power_mode(JETSON_AGX_ORIN, mode)

@@ -1,0 +1,48 @@
+"""Behavioural edge-LLM simulator.
+
+No model weights can run in this offline environment, so the LLM is
+replaced by a *behavioural* simulator built around the mechanism the
+paper's results hinge on: **tool-space confusion**.  The probability of
+selecting the right tool falls as more tools are presented (and as
+context pressure rises), more steeply for weaker and more aggressively
+quantized models; argument formatting adds an independent error channel
+(the gap between the paper's Tool Accuracy and Success Rate).
+
+The simulator exposes the same surface a real Ollama deployment would:
+
+* :meth:`SimulatedLLM.recommend_tools` — the Less-is-More Recommender
+  turn (no tools attached): returns "ideal tool" descriptions derived
+  from the query, corrupted according to the model's reasoning skill;
+* :meth:`SimulatedLLM.execute_step` — one function-calling turn given a
+  presented tool subset, returning the chosen call plus token usage for
+  the hardware model.
+
+All stochastic choices are seeded per (model, quant, query, step); see
+``DESIGN.md`` section 5 for the calibration targets.
+"""
+
+from repro.llm.engine import SimulatedLLM
+from repro.llm.registry import (
+    MODEL_REGISTRY,
+    QUANT_REGISTRY,
+    ModelSpec,
+    QuantSpec,
+    get_model_spec,
+    get_quant_spec,
+)
+from repro.llm.responses import AgentTurn, RecommenderOutput, TokenUsage
+from repro.llm.tokens import estimate_tokens
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "QUANT_REGISTRY",
+    "AgentTurn",
+    "ModelSpec",
+    "QuantSpec",
+    "RecommenderOutput",
+    "SimulatedLLM",
+    "TokenUsage",
+    "estimate_tokens",
+    "get_model_spec",
+    "get_quant_spec",
+]

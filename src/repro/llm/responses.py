@@ -1,0 +1,51 @@
+"""Response dataclasses produced by the simulated LLM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tools.schema import ToolCall
+
+
+@dataclass(frozen=True)
+class TokenUsage:
+    """Prompt/completion token counts of one LLM call (for the HW model).
+
+    ``kv_cached_tokens`` marks the prompt prefix already resident from
+    the previous chained call.
+    """
+
+    prompt_tokens: int
+    completion_tokens: int
+    kv_cached_tokens: int = 0
+
+    def __post_init__(self):
+        if self.prompt_tokens < 0 or self.completion_tokens < 0:
+            raise ValueError("token counts must be >= 0")
+        if not 0 <= self.kv_cached_tokens <= self.prompt_tokens:
+            raise ValueError("kv_cached_tokens out of range")
+
+
+@dataclass(frozen=True)
+class RecommenderOutput:
+    """The Tool Recommender's "ideal tool" descriptions for a query."""
+
+    descriptions: tuple[str, ...]
+    usage: TokenUsage
+
+
+@dataclass(frozen=True)
+class AgentTurn:
+    """One function-calling turn.
+
+    ``call`` is None when the model signalled failure instead of calling
+    a tool (the paper's error-message channel that triggers the Level-3
+    fallback).  ``correct_tool`` records whether the *gold* tool for this
+    step was chosen — the quantity behind the Tool Accuracy metric.
+    """
+
+    call: ToolCall | None
+    usage: TokenUsage
+    correct_tool: bool = False
+    signalled_error: bool = False
+    tools_seen: tuple[str, ...] = field(default_factory=tuple)

@@ -1,0 +1,47 @@
+"""Benchmark-suite substrate: tool catalogs, query generators, augmentation.
+
+Two suites mirror the paper's evaluation targets:
+
+* ``bfcl`` — a BFCL-like general function-calling suite: 51 tools, one
+  gold call per query (sub-questions are independent);
+* ``geoengine`` — a GeoLLM-Engine-like geospatial suite: 46 tools,
+  *sequential* gold call chains where each call feeds the next.
+
+Both generate deterministic query pools with gold tool calls, split into
+``train`` (used only for Level-2 augmentation/clustering, as in the
+paper) and ``eval`` (the 230-query mini-batches the paper reports on).
+"""
+
+from repro.suites.base import BenchmarkSuite, Query
+from repro.suites.bfcl import build_bfcl_suite
+from repro.suites.edgehome import build_edgehome_suite
+from repro.suites.geoengine import build_geoengine_suite
+
+
+def load_suite(name: str, n_queries: int | None = None, seed: int | None = None) -> BenchmarkSuite:
+    """Load a suite by name (``"bfcl"`` | ``"geoengine"`` | ``"edgehome"``).
+
+    ``n_queries`` defaults to the paper's mini-batch size (230).
+    """
+    builders = {"bfcl": build_bfcl_suite, "geoengine": build_geoengine_suite,
+                "edgehome": build_edgehome_suite}
+    try:
+        builder = builders[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown suite {name!r}; choose from {sorted(builders)}") from None
+    kwargs = {}
+    if n_queries is not None:
+        kwargs["n_queries"] = n_queries
+    if seed is not None:
+        kwargs["seed"] = seed
+    return builder(**kwargs)
+
+
+__all__ = [
+    "BenchmarkSuite",
+    "Query",
+    "build_bfcl_suite",
+    "build_edgehome_suite",
+    "build_geoengine_suite",
+    "load_suite",
+]

@@ -1,0 +1,90 @@
+"""Core benchmark-suite datatypes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tools.registry import ToolRegistry
+from repro.tools.schema import ToolCall
+
+#: Mini-batch size used throughout the paper's evaluation (Section IV).
+PAPER_QUERY_BATCH = 230
+
+
+@dataclass(frozen=True)
+class Query:
+    """One benchmark query with its gold solution.
+
+    ``gold_calls`` holds the reference tool-call sequence: length 1 for
+    BFCL-style independent queries, length >= 2 for GeoEngine-style
+    sequential tasks (order matters there — each call consumes the
+    previous call's output).
+    """
+
+    qid: str
+    text: str
+    category: str
+    gold_calls: tuple[ToolCall, ...]
+    sequential: bool = False
+
+    def __post_init__(self):
+        if not self.gold_calls:
+            raise ValueError(f"query {self.qid}: gold_calls must not be empty")
+
+    @property
+    def gold_tools(self) -> tuple[str, ...]:
+        """Names of the gold tools, in call order."""
+        return tuple(call.tool for call in self.gold_calls)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.gold_calls)
+
+
+@dataclass
+class BenchmarkSuite:
+    """A tool pool plus deterministic eval/train query sets.
+
+    ``queries`` is the evaluation mini-batch (paper: 230 queries);
+    ``train_queries`` is a disjoint pool that only Level-2 construction
+    may look at (mirroring the paper's use of benchmark training splits
+    for GPT-4 augmentation).
+    """
+
+    name: str
+    registry: ToolRegistry
+    queries: list[Query]
+    train_queries: list[Query] = field(default_factory=list)
+    sequential: bool = False
+
+    def __post_init__(self):
+        for query in list(self.queries) + list(self.train_queries):
+            for tool in query.gold_tools:
+                if tool not in self.registry:
+                    raise ValueError(
+                        f"query {query.qid} references unknown tool {tool!r}"
+                    )
+
+    @property
+    def n_tools(self) -> int:
+        return len(self.registry)
+
+    @property
+    def categories(self) -> list[str]:
+        """Query categories present in the eval split, first-appearance order."""
+        seen: dict[str, None] = {}
+        for query in self.queries:
+            seen.setdefault(query.category, None)
+        return list(seen)
+
+    def queries_by_category(self, category: str, split: str = "eval") -> list[Query]:
+        """Queries of one category from the ``eval`` or ``train`` split."""
+        pool = self.queries if split == "eval" else self.train_queries
+        return [query for query in pool if query.category == category]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BenchmarkSuite({self.name!r}, tools={self.n_tools}, "
+            f"eval={len(self.queries)}, train={len(self.train_queries)}, "
+            f"sequential={self.sequential})"
+        )

@@ -1,0 +1,53 @@
+"""ROUGE similarity scores.
+
+The paper measures augmented-query quality "based on a similarity score
+(i.e., ROUGE score following [12], [38])".  This module implements
+ROUGE-1 and ROUGE-L F-measures over whitespace/word tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.embedding.tokenizer import Tokenizer
+
+_tokenizer = Tokenizer(remove_stopwords=False, apply_stem=False)
+
+
+def _f_measure(matches: int, candidate_len: int, reference_len: int) -> float:
+    if candidate_len == 0 or reference_len == 0 or matches == 0:
+        return 0.0
+    precision = matches / candidate_len
+    recall = matches / reference_len
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def rouge_1(candidate: str, reference: str) -> float:
+    """Unigram-overlap ROUGE-1 F-measure in [0, 1]."""
+    cand = Counter(_tokenizer.words(candidate))
+    ref = Counter(_tokenizer.words(reference))
+    matches = sum((cand & ref).values())
+    return _f_measure(matches, sum(cand.values()), sum(ref.values()))
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    """Length of the longest common subsequence (O(len(a)*len(b)))."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[-1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str, reference: str) -> float:
+    """Longest-common-subsequence ROUGE-L F-measure in [0, 1]."""
+    cand = _tokenizer.words(candidate)
+    ref = _tokenizer.words(reference)
+    return _f_measure(_lcs_length(cand, ref), len(cand), len(ref))

@@ -1,0 +1,24 @@
+"""Tool/API substrate: schemas, registry and a simulated executor.
+
+Both benchmarks hand the LLM a pool of JSON-described API tools.  This
+package defines the schema objects (:class:`ToolSpec`,
+:class:`ToolParameter`), a :class:`ToolRegistry` for pools, and a
+:class:`SimulatedToolExecutor` that validates call arguments against the
+schema exactly like a real API gateway would — argument-type mistakes made
+by the simulated LLM surface here as failed executions, which is what
+separates the paper's *Success Rate* metric from *Tool Accuracy*.
+"""
+
+from repro.tools.executor import ExecutionOutcome, SimulatedToolExecutor
+from repro.tools.registry import ToolRegistry
+from repro.tools.schema import ToolCall, ToolParameter, ToolSpec, ValidationIssue
+
+__all__ = [
+    "ExecutionOutcome",
+    "SimulatedToolExecutor",
+    "ToolCall",
+    "ToolParameter",
+    "ToolRegistry",
+    "ToolSpec",
+    "ValidationIssue",
+]

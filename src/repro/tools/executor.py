@@ -1,0 +1,104 @@
+"""Simulated tool execution: schema validation + deterministic results.
+
+The executor stands in for the benchmark's API backends.  It enforces the
+same contract a real gateway would — required arguments present, types
+correct, enums respected — and then fabricates a deterministic result
+payload.  A call that references a tool outside the presented pool, or
+passes malformed arguments, fails here; this is the boundary that turns
+the simulated LLM's argument mistakes into the paper's success-rate gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.tools.registry import ToolRegistry
+from repro.tools.schema import ToolCall, ValidationIssue
+from repro.utils.hashing import stable_hash64
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of executing one tool call."""
+
+    call: ToolCall
+    ok: bool
+    value: Any = None
+    issues: tuple[ValidationIssue, ...] = ()
+    error: str = ""
+    #: simulated wall-clock cost of the API itself, seconds
+    api_latency_s: float = 0.0
+
+
+@dataclass
+class SimulatedToolExecutor:
+    """Validates and "executes" tool calls against a registry.
+
+    Parameters
+    ----------
+    registry:
+        The full tool pool (calls to unknown tools fail).
+    api_latency_mean_s:
+        Mean of the simulated per-call API latency (lognormal-ish jitter,
+        deterministic per call).  The paper's execution-time metric is
+        dominated by LLM inference; API latency is kept small but nonzero
+        so the hardware traces stay realistic.
+    """
+
+    registry: ToolRegistry
+    api_latency_mean_s: float = 0.15
+    executed: list[ExecutionOutcome] = field(default_factory=list)
+
+    def execute(self, call: ToolCall, allowed: set[str] | None = None) -> ExecutionOutcome:
+        """Validate and run one call.
+
+        ``allowed`` restricts the callable set to the tools actually
+        presented to the LLM (calling a hallucinated or non-presented tool
+        fails, exactly as it would through a constrained decoder).
+        """
+        if allowed is not None and call.tool not in allowed:
+            outcome = ExecutionOutcome(
+                call=call, ok=False,
+                error=f"tool {call.tool!r} was not offered to the agent",
+            )
+            self.executed.append(outcome)
+            return outcome
+        if call.tool not in self.registry:
+            outcome = ExecutionOutcome(call=call, ok=False, error=f"unknown tool {call.tool!r}")
+            self.executed.append(outcome)
+            return outcome
+
+        spec = self.registry.get(call.tool)
+        issues = spec.validate_arguments(call.arguments)
+        if issues:
+            outcome = ExecutionOutcome(
+                call=call, ok=False, issues=tuple(issues),
+                error="; ".join(str(issue) for issue in issues),
+            )
+            self.executed.append(outcome)
+            return outcome
+
+        rng = derive_rng("tool-exec", call.to_json())
+        latency = float(self.api_latency_mean_s * rng.lognormal(mean=0.0, sigma=0.35))
+        outcome = ExecutionOutcome(
+            call=call, ok=True,
+            value=self._fabricate_result(call),
+            api_latency_s=latency,
+        )
+        self.executed.append(outcome)
+        return outcome
+
+    def _fabricate_result(self, call: ToolCall) -> dict[str, Any]:
+        """Deterministic, schema-shaped stand-in for the real API payload."""
+        token = stable_hash64("result", call.to_json()) % 10_000
+        return {
+            "tool": call.tool,
+            "status": "ok",
+            "ref": f"{call.tool}#{token:04d}",
+        }
+
+    def reset(self) -> None:
+        """Clear the execution log."""
+        self.executed.clear()

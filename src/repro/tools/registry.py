@@ -1,0 +1,78 @@
+"""Registry holding a named pool of tools."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.tools.schema import ToolSpec
+
+
+class ToolRegistry:
+    """An ordered, name-addressed pool of :class:`ToolSpec` objects.
+
+    Iteration order is registration order, which keeps prompt layouts and
+    embedding-index ids stable across runs.
+    """
+
+    def __init__(self, tools: Iterable[ToolSpec] = ()):
+        self._tools: dict[str, ToolSpec] = {}
+        for tool in tools:
+            self.register(tool)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def register(self, tool: ToolSpec) -> None:
+        """Add a tool; duplicate names are an error."""
+        if tool.name in self._tools:
+            raise ValueError(f"tool {tool.name!r} already registered")
+        self._tools[tool.name] = tool
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tools)
+
+    def __iter__(self) -> Iterator[ToolSpec]:
+        return iter(self._tools.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def get(self, name: str) -> ToolSpec:
+        """Return the tool called ``name`` (KeyError when absent)."""
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise KeyError(f"unknown tool {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        """Tool names in registration order."""
+        return list(self._tools)
+
+    @property
+    def categories(self) -> list[str]:
+        """Distinct tool categories, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for tool in self:
+            seen.setdefault(tool.category, None)
+        return list(seen)
+
+    def by_category(self, category: str) -> list[ToolSpec]:
+        """All tools tagged with ``category``."""
+        return [tool for tool in self if tool.category == category]
+
+    def subset(self, names: Iterable[str]) -> list[ToolSpec]:
+        """Resolve ``names`` to specs, preserving the given order."""
+        return [self.get(name) for name in names]
+
+    def descriptions(self) -> list[str]:
+        """Description corpus in registration order (for embedding)."""
+        return [tool.description for tool in self]
+
+    def prompt_text(self, names: Iterable[str] | None = None) -> str:
+        """Concatenated JSON schemas as they appear in an LLM prompt."""
+        tools = list(self) if names is None else self.subset(names)
+        return "\n".join(tool.json_text() for tool in tools)

@@ -1,0 +1,159 @@
+"""Tool schema objects (OpenAI function-calling style)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: JSON-schema-ish parameter types supported by the catalogs.
+PARAMETER_TYPES = ("string", "integer", "number", "boolean", "array")
+
+
+@dataclass(frozen=True)
+class ToolParameter:
+    """One named parameter of a tool.
+
+    ``enum`` restricts string parameters to a closed set; ``item_type``
+    gives the element type for ``array`` parameters.
+    """
+
+    name: str
+    type: str
+    description: str = ""
+    required: bool = True
+    enum: tuple[str, ...] | None = None
+    item_type: str = "string"
+
+    def __post_init__(self):
+        if self.type not in PARAMETER_TYPES:
+            raise ValueError(f"parameter {self.name!r}: unknown type {self.type!r}")
+        if self.enum is not None and self.type != "string":
+            raise ValueError(f"parameter {self.name!r}: enum requires type 'string'")
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` satisfies this parameter's type constraint."""
+        if self.type == "string":
+            if not isinstance(value, str):
+                return False
+            return self.enum is None or value in self.enum
+        if self.type == "integer":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.type == "number":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.type == "boolean":
+            return isinstance(value, bool)
+        # array
+        if not isinstance(value, (list, tuple)):
+            return False
+        if self.item_type == "array":
+            # one level of nesting is enough for the catalogs (matrix rows);
+            # inner element types are not constrained further
+            return all(isinstance(item, (list, tuple)) for item in value)
+        element = ToolParameter(name=f"{self.name}[]", type=self.item_type)
+        return all(element.accepts(item) for item in value)
+
+    def to_json_schema(self) -> dict[str, Any]:
+        """Render the parameter as a JSON-schema property."""
+        schema: dict[str, Any] = {"type": self.type, "description": self.description}
+        if self.enum is not None:
+            schema["enum"] = list(self.enum)
+        if self.type == "array":
+            schema["items"] = {"type": self.item_type}
+        return schema
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single argument-validation failure."""
+
+    parameter: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.parameter}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """A callable API tool: name, natural-language description, parameters."""
+
+    name: str
+    description: str
+    parameters: tuple[ToolParameter, ...] = ()
+    category: str = "general"
+    returns: str = "result payload"
+
+    def __post_init__(self):
+        names = [parameter.name for parameter in self.parameters]
+        if len(names) != len(set(names)):
+            raise ValueError(f"tool {self.name!r}: duplicate parameter names")
+
+    @property
+    def required_parameters(self) -> tuple[ToolParameter, ...]:
+        return tuple(parameter for parameter in self.parameters if parameter.required)
+
+    def parameter(self, name: str) -> ToolParameter | None:
+        """Return the parameter called ``name`` (None when absent)."""
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        return None
+
+    def validate_arguments(self, arguments: dict[str, Any]) -> list[ValidationIssue]:
+        """Validate a call's arguments; empty list means the call is well-formed."""
+        issues: list[ValidationIssue] = []
+        for parameter in self.required_parameters:
+            if parameter.name not in arguments:
+                issues.append(ValidationIssue(parameter.name, "missing required argument"))
+        for name, value in arguments.items():
+            parameter = self.parameter(name)
+            if parameter is None:
+                issues.append(ValidationIssue(name, "unexpected argument"))
+            elif not parameter.accepts(value):
+                issues.append(ValidationIssue(
+                    name, f"expected {parameter.type}, got {type(value).__name__}"
+                ))
+        return issues
+
+    def to_json_schema(self) -> dict[str, Any]:
+        """OpenAI-style function schema (what gets appended to prompts)."""
+        return {
+            "type": "function",
+            "function": {
+                "name": self.name,
+                "description": self.description,
+                "parameters": {
+                    "type": "object",
+                    "properties": {
+                        parameter.name: parameter.to_json_schema()
+                        for parameter in self.parameters
+                    },
+                    "required": [parameter.name for parameter in self.required_parameters],
+                },
+            },
+        }
+
+    def json_text(self) -> str:
+        """The JSON string form included in the LLM prompt."""
+        return json.dumps(self.to_json_schema(), separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ToolCall:
+    """A concrete invocation: tool name plus JSON-compatible arguments."""
+
+    tool: str
+    arguments: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # dataclass is frozen but the dict is shared; freeze a private copy
+        object.__setattr__(self, "arguments", dict(self.arguments))
+
+    def matches_tool(self, other: "ToolCall") -> bool:
+        """Whether both calls target the same tool (ignoring arguments)."""
+        return self.tool == other.tool
+
+    def to_json(self) -> str:
+        return json.dumps({"name": self.tool, "arguments": self.arguments},
+                          separators=(",", ":"), sort_keys=True)

@@ -1,0 +1,19 @@
+"""Shared low-level helpers: stable hashing, seeded RNG streams, text."""
+
+from repro.utils.hashing import stable_hash64, stable_hash_bytes
+from repro.utils.rng import RngFactory, derive_rng
+from repro.utils.text import (
+    normalize_whitespace,
+    sentence_case,
+    truncate_words,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_rng",
+    "normalize_whitespace",
+    "sentence_case",
+    "stable_hash64",
+    "stable_hash_bytes",
+    "truncate_words",
+]

@@ -1,0 +1,41 @@
+"""Stable, process-independent hashing.
+
+Python's built-in :func:`hash` is salted per process (``PYTHONHASHSEED``),
+so every piece of the simulator that needs reproducible pseudo-randomness
+derives its seeds from BLAKE2 digests instead.  The helpers here are the
+single source of truth for that derivation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash_bytes(*parts: str | bytes | int | float) -> bytes:
+    """Return a 16-byte BLAKE2 digest of the given parts.
+
+    Parts are length-delimited before hashing so that ``("ab", "c")`` and
+    ``("a", "bc")`` produce different digests.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, bytes):
+            raw = part
+        elif isinstance(part, str):
+            raw = part.encode("utf-8")
+        elif isinstance(part, bool):
+            raw = b"\x01" if part else b"\x00"
+        elif isinstance(part, int):
+            raw = part.to_bytes(16, "little", signed=True)
+        elif isinstance(part, float):
+            raw = repr(part).encode("utf-8")
+        else:
+            raise TypeError(f"unhashable part type: {type(part).__name__}")
+        hasher.update(len(raw).to_bytes(4, "little"))
+        hasher.update(raw)
+    return hasher.digest()
+
+
+def stable_hash64(*parts: str | bytes | int | float) -> int:
+    """Return a stable unsigned 64-bit hash of the given parts."""
+    return int.from_bytes(stable_hash_bytes(*parts)[:8], "little")

@@ -1,0 +1,41 @@
+"""Small text-manipulation helpers used across the package."""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def truncate_words(text: str, max_words: int) -> str:
+    """Return at most ``max_words`` whitespace-separated words of ``text``."""
+    if max_words <= 0:
+        return ""
+    words = text.split()
+    if len(words) <= max_words:
+        return text.strip()
+    return " ".join(words[:max_words])
+
+
+def sentence_case(text: str) -> str:
+    """Capitalise the first character, leaving the rest untouched."""
+    stripped = text.strip()
+    if not stripped:
+        return stripped
+    return stripped[0].upper() + stripped[1:]
+
+
+def snake_to_words(name: str) -> str:
+    """Turn ``snake_case_name`` into ``snake case name``."""
+    return name.replace("_", " ").strip()
+
+
+def words_to_snake(text: str) -> str:
+    """Turn free text into a ``snake_case`` identifier."""
+    cleaned = re.sub(r"[^a-zA-Z0-9]+", "_", text.strip().lower())
+    return cleaned.strip("_")

@@ -1,0 +1,34 @@
+"""Vector-index substrate (FAISS substitute).
+
+The Tool Controller in the paper runs FAISS k-NN searches against the
+Search Level latent spaces.  This package provides the same capability in
+pure numpy:
+
+* :class:`FlatIndex` — exact search, identical semantics to
+  ``faiss.IndexFlatIP`` / ``IndexFlatL2``;
+* :class:`IVFIndex` — an inverted-file index with a k-means coarse
+  quantizer and an ``nprobe`` knob, mirroring ``faiss.IndexIVFFlat`` (used
+  by the ablation studies, not the main pipeline);
+* :func:`index_factory` — small FAISS-style string factory.
+
+All indexes share the :class:`VectorIndex` interface: ``add`` vectors with
+integer ids, ``search`` returns ``(scores, ids)`` sorted best-first.
+"""
+
+from repro.vectorstore.base import SearchResult, VectorIndex
+from repro.vectorstore.factory import index_factory
+from repro.vectorstore.flat import FlatIndex
+from repro.vectorstore.ivf import IVFIndex
+from repro.vectorstore.metrics import METRICS, Metric
+from repro.vectorstore.pq import PQIndex
+
+__all__ = [
+    "METRICS",
+    "FlatIndex",
+    "IVFIndex",
+    "Metric",
+    "PQIndex",
+    "SearchResult",
+    "VectorIndex",
+    "index_factory",
+]

@@ -1,0 +1,123 @@
+"""Common interface for vector indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vectorstore.metrics import Metric, get_metric
+
+
+@dataclass
+class SearchResult:
+    """Top-k result for one query: parallel score/id arrays, best first."""
+
+    scores: np.ndarray
+    ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def top(self) -> tuple[float, int]:
+        """Return the single best ``(score, id)`` pair."""
+        if len(self.ids) == 0:
+            raise ValueError("empty search result")
+        return float(self.scores[0]), int(self.ids[0])
+
+    def mean_score(self) -> float:
+        """Average score of the retrieved neighbours (0.0 when empty).
+
+        This is the quantity the paper's Tool Controller compares across
+        Search Levels ("average top-k score", Section III-C).
+        """
+        if len(self.scores) == 0:
+            return 0.0
+        return float(np.mean(self.scores))
+
+
+@dataclass
+class VectorIndex:
+    """Base class: id-addressed vector storage with exactish k-NN search."""
+
+    dim: int
+    metric: Metric = field(default_factory=lambda: get_metric("cosine"))
+
+    def __post_init__(self):
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        self.metric = get_metric(self.metric)
+        self._vectors = np.zeros((0, self.dim))
+        self._ids = np.zeros(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._vectors.shape[0])
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Stored ids, in insertion order."""
+        return self._ids.copy()
+
+    def add(self, vectors: np.ndarray, ids: list[int] | np.ndarray | None = None) -> None:
+        """Append ``vectors`` with the given integer ids (default: 0..n-1 continuation)."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        if ids is None:
+            start = len(self)
+            ids = np.arange(start, start + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise ValueError("ids and vectors length mismatch")
+            duplicate = np.intersect1d(ids, self._ids)
+            if duplicate.size or len(set(ids.tolist())) != ids.shape[0]:
+                raise ValueError("duplicate ids are not allowed")
+        self._vectors = np.vstack([self._vectors, vectors])
+        self._ids = np.concatenate([self._ids, ids])
+        self._on_add(vectors, ids)
+
+    def reconstruct(self, vector_id: int) -> np.ndarray:
+        """Return the stored vector for ``vector_id``."""
+        matches = np.nonzero(self._ids == vector_id)[0]
+        if matches.size == 0:
+            raise KeyError(f"id {vector_id} not in index")
+        return self._vectors[matches[0]].copy()
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Return the top-``k`` neighbours for each query row."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if len(self) == 0:
+            empty = SearchResult(np.zeros(0), np.zeros(0, dtype=np.int64))
+            return [empty for _ in range(queries.shape[0])]
+        return self._search_impl(queries, min(k, len(self)))
+
+    def search_one(self, query: np.ndarray, k: int) -> SearchResult:
+        """Convenience: top-``k`` neighbours of a single vector."""
+        return self.search(np.atleast_2d(query), k)[0]
+
+    # hooks -------------------------------------------------------------
+    def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        """Subclass hook invoked after vectors are appended."""
+
+    def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        raise NotImplementedError
+
+    # shared helper ------------------------------------------------------
+    def _rank(self, scores: np.ndarray, candidate_rows: np.ndarray, k: int) -> SearchResult:
+        """Order candidate rows by score under the index metric."""
+        order = np.argsort(scores)
+        if self.metric.higher_is_better:
+            order = order[::-1]
+        top = order[:k]
+        return SearchResult(scores=scores[top], ids=self._ids[candidate_rows[top]])

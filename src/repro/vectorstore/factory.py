@@ -1,0 +1,70 @@
+"""FAISS-style string factory and JSON round-trip for indexes."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+
+from repro.vectorstore.base import VectorIndex
+from repro.vectorstore.flat import FlatIndex
+from repro.vectorstore.ivf import IVFIndex
+from repro.vectorstore.pq import PQIndex
+
+_IVF_RE = re.compile(r"^IVF(\d+)$", re.IGNORECASE)
+_PQ_RE = re.compile(r"^PQ(\d+)$", re.IGNORECASE)
+
+
+def index_factory(dim: int, description: str = "Flat", metric: str = "cosine") -> VectorIndex:
+    """Build an index from a FAISS-like description string.
+
+    Supported descriptions: ``"Flat"``, ``"IVF<n>"`` (e.g. ``"IVF16"``)
+    and ``"PQ<m>"`` (e.g. ``"PQ8"``; PQ always uses the L2 metric).
+    """
+    description = description.strip()
+    if description.lower() == "flat":
+        return FlatIndex(dim=dim, metric=metric)
+    ivf_match = _IVF_RE.match(description)
+    if ivf_match:
+        return IVFIndex(dim=dim, metric=metric, n_lists=int(ivf_match.group(1)))
+    pq_match = _PQ_RE.match(description)
+    if pq_match:
+        return PQIndex(dim=dim, m=int(pq_match.group(1)))
+    raise ValueError(f"unsupported index description {description!r}")
+
+
+def dump_index(index: VectorIndex) -> str:
+    """Serialize a flat/IVF index (vectors + ids + config) to JSON."""
+    payload = {
+        "kind": type(index).__name__,
+        "dim": index.dim,
+        "metric": index.metric.name,
+        "ids": index._ids.tolist(),
+        "vectors": index._vectors.tolist(),
+    }
+    if isinstance(index, IVFIndex):
+        payload["n_lists"] = index.n_lists
+        payload["nprobe"] = index.nprobe
+    return json.dumps(payload)
+
+
+def load_index(data: str) -> VectorIndex:
+    """Rebuild an index serialized with :func:`dump_index`."""
+    payload = json.loads(data)
+    kind = payload["kind"]
+    if kind == "FlatIndex":
+        index: VectorIndex = FlatIndex(dim=payload["dim"], metric=payload["metric"])
+    elif kind == "IVFIndex":
+        index = IVFIndex(
+            dim=payload["dim"],
+            metric=payload["metric"],
+            n_lists=payload["n_lists"],
+            nprobe=payload["nprobe"],
+        )
+    else:
+        raise ValueError(f"unknown index kind {kind!r}")
+    vectors = np.asarray(payload["vectors"], dtype=float)
+    if vectors.size:
+        index.add(vectors, ids=payload["ids"])
+    return index

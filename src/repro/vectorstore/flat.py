@@ -1,0 +1,21 @@
+"""Exact (brute-force) k-NN index — the FAISS ``IndexFlat*`` equivalent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vectorstore.base import SearchResult, VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Exact nearest-neighbour search over all stored vectors.
+
+    This is the index used by the Less-is-More Tool Controller: tool
+    pools are tiny (tens of tools), so exact search is both the fastest
+    and the most faithful reproduction of the paper's FAISS usage.
+    """
+
+    def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        all_rows = np.arange(len(self))
+        score_matrix = self.metric.score(queries, self._vectors)
+        return [self._rank(score_matrix[i], all_rows, k) for i in range(queries.shape[0])]

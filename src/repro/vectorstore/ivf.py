@@ -1,0 +1,106 @@
+"""Inverted-file index with a k-means coarse quantizer (``IndexIVFFlat``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore.base import SearchResult, VectorIndex
+from repro.vectorstore.metrics import get_metric
+
+
+def kmeans(
+    vectors: np.ndarray,
+    n_clusters: int,
+    n_iters: int = 25,
+    seed_stream: str = "ivf-kmeans",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns ``(centroids, assignments)``.
+
+    Deterministic: initial centroids are sampled from a named RNG stream.
+    Empty clusters are re-seeded to the point farthest from its centroid.
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    n = vectors.shape[0]
+    if n_clusters <= 0:
+        raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+    n_clusters = min(n_clusters, n)
+    rng = derive_rng(seed_stream, n, n_clusters)
+    centroids = vectors[rng.choice(n, size=n_clusters, replace=False)].copy()
+    l2 = get_metric("l2")
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(n_iters):
+        dists = l2.score(vectors, centroids)
+        new_assignments = np.argmin(dists, axis=1)
+        if np.array_equal(new_assignments, assignments) and _ > 0:
+            break
+        assignments = new_assignments
+        for cluster in range(n_clusters):
+            members = vectors[assignments == cluster]
+            if members.shape[0] == 0:
+                worst = int(np.argmax(np.min(dists, axis=1)))
+                centroids[cluster] = vectors[worst]
+            else:
+                centroids[cluster] = members.mean(axis=0)
+    return centroids, assignments
+
+
+class IVFIndex(VectorIndex):
+    """Approximate k-NN: search only the ``nprobe`` nearest centroid lists.
+
+    Mirrors ``faiss.IndexIVFFlat``.  The index must be trained (or will
+    self-train on first search using the stored vectors).
+    """
+
+    def __init__(self, dim: int, metric="cosine", n_lists: int = 8, nprobe: int = 2):
+        super().__init__(dim=dim, metric=metric)
+        if n_lists <= 0:
+            raise ValueError(f"n_lists must be positive, got {n_lists}")
+        if nprobe <= 0:
+            raise ValueError(f"nprobe must be positive, got {nprobe}")
+        self.n_lists = int(n_lists)
+        self.nprobe = int(nprobe)
+        self._centroids: np.ndarray | None = None
+        self._assignments: np.ndarray | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the coarse quantizer has been fitted."""
+        return self._centroids is not None
+
+    def train(self, vectors: np.ndarray | None = None) -> None:
+        """Fit the coarse quantizer on ``vectors`` (default: stored data)."""
+        data = self._vectors if vectors is None else np.atleast_2d(np.asarray(vectors, dtype=float))
+        if data.shape[0] == 0:
+            raise ValueError("cannot train IVF index without vectors")
+        self._centroids, _ = kmeans(data, self.n_lists)
+        self._reassign()
+
+    def _reassign(self) -> None:
+        if self._centroids is None or len(self) == 0:
+            self._assignments = np.zeros(0, dtype=np.int64)
+            return
+        l2 = get_metric("l2")
+        dists = l2.score(self._vectors, self._centroids)
+        self._assignments = np.argmin(dists, axis=1).astype(np.int64)
+
+    def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        if self.is_trained:
+            self._reassign()
+
+    def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        if not self.is_trained:
+            self.train()
+        assert self._centroids is not None and self._assignments is not None
+        l2 = get_metric("l2")
+        centroid_dists = l2.score(queries, self._centroids)
+        nprobe = min(self.nprobe, self._centroids.shape[0])
+        results: list[SearchResult] = []
+        for qi in range(queries.shape[0]):
+            probe_lists = np.argsort(centroid_dists[qi])[:nprobe]
+            candidate_rows = np.nonzero(np.isin(self._assignments, probe_lists))[0]
+            if candidate_rows.size == 0:
+                candidate_rows = np.arange(len(self))
+            scores = self.metric.score(queries[qi : qi + 1], self._vectors[candidate_rows])[0]
+            results.append(self._rank(scores, candidate_rows, min(k, candidate_rows.size)))
+        return results

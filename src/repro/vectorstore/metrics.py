@@ -1,0 +1,67 @@
+"""Similarity/distance metrics shared by the vector indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A scoring function between a query batch and stored vectors.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in factory strings and serialized indexes.
+    higher_is_better:
+        True for similarities (inner product, cosine), False for
+        distances (L2).
+    score:
+        ``score(queries (q,d), vectors (n,d)) -> (q,n)`` array.
+    """
+
+    name: str
+    higher_is_better: bool
+    score: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _inner_product(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    return queries @ vectors.T
+
+
+def _cosine(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+    vector_norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    query_norms[query_norms == 0.0] = 1.0
+    vector_norms[vector_norms == 0.0] = 1.0
+    return (queries / query_norms) @ (vectors / vector_norms).T
+
+
+def _squared_l2(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    # ||q - v||^2 = ||q||^2 - 2 q.v + ||v||^2, computed without a (q,n,d) blow-up
+    q_sq = np.sum(queries**2, axis=1, keepdims=True)
+    v_sq = np.sum(vectors**2, axis=1)
+    cross = queries @ vectors.T
+    dists = q_sq - 2.0 * cross + v_sq[None, :]
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+METRICS: dict[str, Metric] = {
+    "ip": Metric("ip", True, _inner_product),
+    "cosine": Metric("cosine", True, _cosine),
+    "l2": Metric("l2", False, _squared_l2),
+}
+
+
+def get_metric(name: str | Metric) -> Metric:
+    """Resolve a metric by name, passing :class:`Metric` through."""
+    if isinstance(name, Metric):
+        return name
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(METRICS)}") from None

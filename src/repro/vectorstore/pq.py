@@ -1,0 +1,138 @@
+"""Product-quantization index (``faiss.IndexPQ`` equivalent).
+
+On a memory-constrained edge device even the vector store competes with
+the model weights for DRAM.  PQ compresses each vector into ``m`` one-
+byte codes (one per sub-space) — a 768-d float64 vector (6 KB) becomes
+``m`` bytes — at a small recall cost.  Used by the embedding-memory
+ablation; the main pipeline keeps exact Flat search (tool pools are
+tiny).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore.base import SearchResult, VectorIndex
+from repro.vectorstore.ivf import kmeans
+
+
+class PQIndex(VectorIndex):
+    """Asymmetric-distance product quantizer.
+
+    Parameters
+    ----------
+    m:
+        Number of sub-spaces (must divide ``dim``).
+    n_centroids:
+        Codebook size per sub-space (<= 256 so codes fit one byte).
+    """
+
+    def __init__(self, dim: int, metric="l2", m: int = 8, n_centroids: int = 256):
+        if metric not in ("l2",):
+            raise ValueError("PQIndex supports the 'l2' metric only")
+        super().__init__(dim=dim, metric=metric)
+        if m <= 0 or dim % m != 0:
+            raise ValueError(f"m must divide dim ({dim}), got {m}")
+        if not 2 <= n_centroids <= 256:
+            raise ValueError(f"n_centroids must be in [2, 256], got {n_centroids}")
+        self.m = m
+        self.n_centroids = n_centroids
+        self.sub_dim = dim // m
+        self._codebooks: np.ndarray | None = None  # (m, n_centroids, sub_dim)
+        self._codes: np.ndarray | None = None      # (n, m) uint8
+
+    # ------------------------------------------------------------------
+    # training / encoding
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._codebooks is not None
+
+    def train(self, vectors: np.ndarray | None = None) -> None:
+        """Fit one k-means codebook per sub-space."""
+        data = self._vectors if vectors is None else np.atleast_2d(np.asarray(vectors, float))
+        if data.shape[0] == 0:
+            raise ValueError("cannot train PQ index without vectors")
+        n_centroids = min(self.n_centroids, data.shape[0])
+        books = []
+        for sub in range(self.m):
+            block = data[:, sub * self.sub_dim:(sub + 1) * self.sub_dim]
+            centroids, _ = kmeans(block, n_centroids,
+                                  seed_stream=f"pq-train-{sub}")
+            books.append(centroids)
+        self._codebooks = np.stack(books)
+        self._encode_all()
+
+    def _encode_all(self) -> None:
+        assert self._codebooks is not None
+        n = len(self)
+        codes = np.zeros((n, self.m), dtype=np.uint8)
+        for sub in range(self.m):
+            block = self._vectors[:, sub * self.sub_dim:(sub + 1) * self.sub_dim]
+            dists = self._block_dists(block, self._codebooks[sub])
+            codes[:, sub] = np.argmin(dists, axis=1)
+        self._codes = codes
+
+    @staticmethod
+    def _block_dists(block: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        b_sq = np.sum(block**2, axis=1, keepdims=True)
+        c_sq = np.sum(centroids**2, axis=1)
+        return b_sq - 2.0 * block @ centroids.T + c_sq[None, :]
+
+    def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        if self.is_trained:
+            self._encode_all()
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        if not self.is_trained:
+            self.train()
+        assert self._codebooks is not None and self._codes is not None
+        all_rows = np.arange(len(self))
+        results = []
+        for qi in range(queries.shape[0]):
+            # asymmetric distance: query stays exact, database is coded
+            lut = np.stack([
+                self._block_dists(
+                    queries[qi, sub * self.sub_dim:(sub + 1) * self.sub_dim][None, :],
+                    self._codebooks[sub],
+                )[0]
+                for sub in range(self.m)
+            ])  # (m, n_centroids)
+            dists = lut[np.arange(self.m)[None, :], self._codes].sum(axis=1)
+            results.append(self._rank(dists, all_rows, k))
+        return results
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def code_bytes(self) -> int:
+        """Resident bytes of the compressed database (codes + codebooks)."""
+        codebook_bytes = 0 if self._codebooks is None else self._codebooks.nbytes
+        code_bytes = 0 if self._codes is None else self._codes.nbytes
+        return codebook_bytes + code_bytes
+
+    def raw_bytes(self) -> int:
+        """Bytes the uncompressed float64 vectors would occupy."""
+        return self._vectors.nbytes
+
+    def compression_ratio(self) -> float:
+        """raw / compressed size including codebooks.
+
+        On small databases the fixed codebooks dominate; see
+        :meth:`marginal_compression_ratio` for the per-vector ratio that
+        governs large stores.
+        """
+        compressed = self.code_bytes()
+        if compressed == 0:
+            return 1.0
+        return self.raw_bytes() / compressed
+
+    def marginal_compression_ratio(self) -> float:
+        """Per-vector raw/code byte ratio (codebooks amortised away)."""
+        if self._codes is None or self._codes.size == 0:
+            return 1.0
+        return self.raw_bytes() / self._codes.nbytes

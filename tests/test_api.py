@@ -1,0 +1,61 @@
+"""Tests for the top-level convenience API (repro.api)."""
+
+import pytest
+
+import repro
+from repro import build_agent, build_less_is_more, load_model, load_suite
+
+
+class TestLoadSuite:
+    def test_bfcl(self):
+        suite = load_suite("bfcl", n_queries=4)
+        assert suite.n_tools == 51
+        assert len(suite.queries) == 4
+
+    def test_seed_changes_queries(self):
+        a = load_suite("bfcl", n_queries=6, seed=1)
+        b = load_suite("bfcl", n_queries=6, seed=2)
+        assert [q.text for q in a.queries] != [q.text for q in b.queries]
+
+
+class TestLoadModel:
+    def test_default_quant(self):
+        llm = load_model("hermes2-pro-8b")
+        assert llm.quant.name == "q4_K_M"
+
+    def test_explicit_quant(self):
+        assert load_model("qwen2-7b", "q8_0").quant.name == "q8_0"
+
+
+class TestBuildAgents:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return load_suite("bfcl", n_queries=4)
+
+    def test_build_less_is_more(self, suite):
+        agent = build_less_is_more("llama3.1-8b", "q4_0", suite, k=5)
+        assert agent.scheme == "lis"
+        assert agent.k == 5
+
+    def test_build_agent_schemes(self, suite):
+        for scheme in ("default", "gorilla", "toolllm", "lis"):
+            agent = build_agent(scheme, "qwen2-7b", "q4_0", suite)
+            assert agent.scheme in ("default", "gorilla", "toolllm", "lis")
+
+    def test_build_agent_unknown(self, suite):
+        with pytest.raises(ValueError):
+            build_agent("react", "qwen2-7b", "q4_0", suite)
+
+    def test_episode_round_trip(self, suite):
+        agent = build_less_is_more("qwen2-7b", "q4_K_M", suite)
+        episode = agent.run(suite.queries[0])
+        assert episode.qid == suite.queries[0].qid
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

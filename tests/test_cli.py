@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.suite == "bfcl"
+        assert args.scheme == "lis-k3"
+        assert args.queries == 60
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.tools == 46
+        assert args.power_mode == "MAXN"
+
+    def test_invalid_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--suite", "toolbench"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--suite", "bfcl", "-n", "5",
+                     "--model", "qwen2-7b", "--scheme", "lis-k3"]) == 0
+        out = capsys.readouterr().out
+        assert "success" in out
+        assert "CI" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--suite", "bfcl", "-n", "4",
+                     "--model", "qwen2-7b"]) == 0
+        out = capsys.readouterr().out
+        assert "gorilla" in out
+        assert "vs default" in out
+
+    def test_levels_command(self, capsys):
+        assert main(["levels", "--suite", "geoengine", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Level 2" in out
+        assert "cluster 0" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--tools", "19", "--window", "8192",
+                     "--power-mode", "15W"]) == 0
+        out = capsys.readouterr().out
+        assert "prefill" in out
+        assert "15W" in out
+
+
+class TestModuleEntry:
+    def test_dunder_main_importable(self):
+        import repro.__main__  # noqa: F401

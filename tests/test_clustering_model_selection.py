@@ -1,0 +1,62 @@
+"""Tests for silhouette-based cluster-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.model_selection import select_n_clusters
+from repro.utils.rng import derive_rng
+
+
+def blobs(n_blobs, points_each=10, spread=0.2):
+    rng = derive_rng("model-selection-blobs", n_blobs)
+    centers = 8.0 * rng.standard_normal((n_blobs, 3))
+    return np.vstack([
+        center + spread * rng.standard_normal((points_each, 3))
+        for center in centers
+    ])
+
+
+class TestSelectNClusters:
+    @pytest.mark.parametrize("true_k", [3, 5])
+    def test_recovers_true_count(self, true_k):
+        best_k, scores = select_n_clusters(blobs(true_k), k_min=2, k_max=10)
+        assert best_k == true_k
+        assert scores[true_k] == max(scores.values())
+
+    def test_scores_for_all_candidates(self):
+        _, scores = select_n_clusters(blobs(4), k_min=2, k_max=8)
+        assert set(scores) == set(range(2, 9))
+
+    def test_tiny_dataset(self):
+        best_k, _ = select_n_clusters(np.ones((2, 3)))
+        assert best_k == 2
+
+    def test_k_max_clamped_to_n(self):
+        data = blobs(2, points_each=3)  # 6 points
+        best_k, scores = select_n_clusters(data, k_min=2, k_max=50)
+        assert max(scores) <= 5
+
+    def test_deterministic(self):
+        data = blobs(3)
+        a, _ = select_n_clusters(data)
+        b, _ = select_n_clusters(data)
+        assert a == b
+
+
+class TestAutoKInLevelBuilder:
+    def test_auto_builds_levels(self):
+        from repro.core.levels import SearchLevelBuilder
+        from repro.suites.geoengine import build_geoengine_suite
+
+        suite = build_geoengine_suite(n_queries=10, n_train=50)
+        levels = SearchLevelBuilder(n_clusters="auto").build(suite)
+        assert levels.n_clusters >= 4
+        # clusters must still be genuine reductions of the pool
+        for cluster in levels.clusters:
+            assert len(cluster.tools) < suite.n_tools
+
+    def test_invalid_string_rejected(self):
+        from repro.core.levels import SearchLevelBuilder
+
+        with pytest.raises(ValueError):
+            SearchLevelBuilder(n_clusters="automatic")

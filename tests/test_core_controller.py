@@ -1,0 +1,107 @@
+"""Tests for repro.core.controller: level arbitration + fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import ToolController
+from repro.core.levels import SearchLevelBuilder
+from repro.embedding.cache import shared_embedder
+from repro.suites.bfcl import build_bfcl_suite
+from repro.suites.geoengine import build_geoengine_suite
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return shared_embedder()
+
+
+@pytest.fixture(scope="module")
+def bfcl_levels(embedder):
+    return SearchLevelBuilder(embedder=embedder).build(build_bfcl_suite(n_queries=10, n_train=60))
+
+
+@pytest.fixture(scope="module")
+def geo_levels(embedder):
+    return SearchLevelBuilder(embedder=embedder).build(
+        build_geoengine_suite(n_queries=10, n_train=60))
+
+
+class TestArbitration:
+    def test_single_tool_query_selects_level1(self, embedder, bfcl_levels):
+        controller = ToolController(bfcl_levels, k=3)
+        vec = embedder.encode_one(
+            "Get the current weather conditions and temperature for a city.")
+        decision = controller.decide(vec[None, :])
+        assert decision.level == 1
+        assert "get_current_weather" in decision.tools
+        assert decision.n_tools <= 3
+
+    def test_multi_tool_needs_prefer_level2(self, embedder, geo_levels):
+        texts = [
+            "Load a satellite imagery archive and filter scenes by country region.",
+            "Generate captions for the scenes and plot them on a map viewer.",
+        ]
+        decision = ToolController(geo_levels, k=3).decide(embedder.encode(texts))
+        assert decision.level == 2
+        assert decision.n_tools > 3  # cluster union, not single tools
+
+    def test_gibberish_falls_back_to_level3(self, embedder, bfcl_levels):
+        controller = ToolController(bfcl_levels, k=3)
+        vec = embedder.encode_one("zz qq xx yy www vv")
+        decision = controller.decide(vec[None, :])
+        assert decision.level == 3
+        assert decision.n_tools == len(bfcl_levels.all_tools)
+
+    def test_empty_recommendations_level3(self, bfcl_levels):
+        decision = ToolController(bfcl_levels, k=3).decide(np.zeros((0, 768)))
+        assert decision.level == 3
+
+    def test_zero_vector_level3(self, bfcl_levels):
+        decision = ToolController(bfcl_levels, k=3).decide(np.zeros((1, 768)))
+        assert decision.level == 3
+
+    def test_scores_reported(self, embedder, bfcl_levels):
+        vec = embedder.encode_one("Translate text into another language.")
+        decision = ToolController(bfcl_levels, k=3).decide(vec[None, :])
+        assert decision.level1_score > 0.3
+        assert decision.level2_score >= 0.0
+
+
+class TestConfiguration:
+    def test_invalid_k(self, bfcl_levels):
+        with pytest.raises(ValueError):
+            ToolController(bfcl_levels, k=0)
+
+    def test_k_bounds_level1_tools(self, embedder, bfcl_levels):
+        vec = embedder.encode_one("Evaluate a mathematical expression and return the value.")
+        for k in (1, 2, 5):
+            decision = ToolController(bfcl_levels, k=k).decide(vec[None, :])
+            if decision.level == 1:
+                assert decision.n_tools <= k
+
+    def test_threshold_one_forces_level3(self, embedder, bfcl_levels):
+        controller = ToolController(bfcl_levels, k=3, confidence_threshold=1.01)
+        vec = embedder.encode_one("Get the weather forecast for a city.")
+        assert controller.decide(vec[None, :]).level == 3
+
+    def test_threshold_zero_never_level3(self, embedder, bfcl_levels):
+        controller = ToolController(bfcl_levels, k=3, confidence_threshold=0.0)
+        vec = embedder.encode_one("Translate a short sentence.")
+        assert controller.decide(vec[None, :]).level in (1, 2)
+
+    def test_max_level2_clusters_caps_union(self, embedder, geo_levels):
+        texts = [
+            "Load a satellite imagery archive and filter scenes by country region.",
+            "Generate captions for the scenes and plot them on a map viewer.",
+        ]
+        small = ToolController(geo_levels, k=3, max_level2_clusters=1).decide(
+            embedder.encode(texts))
+        large = ToolController(geo_levels, k=3, max_level2_clusters=3).decide(
+            embedder.encode(texts))
+        if small.level == 2 and large.level == 2:
+            assert small.n_tools <= large.n_tools
+
+    def test_decision_tools_unique(self, embedder, geo_levels):
+        texts = ["Detect ships in coastal imagery and count them per scene."]
+        decision = ToolController(geo_levels, k=5).decide(embedder.encode(texts))
+        assert len(decision.tools) == len(set(decision.tools))

@@ -1,0 +1,78 @@
+"""Tests for the Jetson nvpmodel power-mode layer."""
+
+import pytest
+
+from repro.hardware import (
+    JETSON_AGX_ORIN,
+    InferenceRequest,
+    POWER_MODES,
+    PowerMode,
+    apply_power_mode,
+    orin_in_mode,
+    simulate_inference,
+)
+
+
+def request():
+    return InferenceRequest(params_b=8.0, bits_per_weight=4.85,
+                            prompt_tokens=3000, generated_tokens=150,
+                            context_window=16384, jitter_stream="pm")
+
+
+class TestPowerModeDefinition:
+    def test_presets(self):
+        assert {"MAXN", "30W", "15W"} == set(POWER_MODES)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PowerMode("bad", 1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PowerMode("bad", 1.0, 0.0, 1.0)
+
+    def test_maxn_is_identity(self):
+        device = apply_power_mode(JETSON_AGX_ORIN, "MAXN")
+        assert device.membw_gbs == JETSON_AGX_ORIN.membw_gbs
+        assert device.prefill_tokens_per_s_8b == JETSON_AGX_ORIN.prefill_tokens_per_s_8b
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            orin_in_mode("50W")
+
+    def test_case_insensitive(self):
+        assert orin_in_mode("15w").name.endswith("15w")
+
+
+class TestCappedBehaviour:
+    def test_lower_cap_slower(self):
+        maxn = simulate_inference(request(), device=orin_in_mode("MAXN"))
+        w15 = simulate_inference(request(), device=orin_in_mode("15W"))
+        assert w15.total_s > maxn.total_s * 1.5
+
+    def test_lower_cap_less_power(self):
+        maxn = simulate_inference(request(), device=orin_in_mode("MAXN"))
+        w15 = simulate_inference(request(), device=orin_in_mode("15W"))
+        assert w15.avg_power_w < maxn.avg_power_w
+
+    def test_monotone_across_presets(self):
+        times = []
+        powers = []
+        for mode in ("MAXN", "30W", "15W"):
+            trace = simulate_inference(request(), device=orin_in_mode(mode))
+            times.append(trace.total_s)
+            powers.append(trace.avg_power_w)
+        assert times == sorted(times)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_energy_tradeoff_is_nontrivial(self):
+        # capping power does not cap energy proportionally: slower runs
+        # burn idle power longer — the trade-off the ablation quantifies
+        maxn = simulate_inference(request(), device=orin_in_mode("MAXN"))
+        w15 = simulate_inference(request(), device=orin_in_mode("15W"))
+        power_ratio = w15.avg_power_w / maxn.avg_power_w
+        energy_ratio = w15.energy_j / maxn.energy_j
+        assert energy_ratio > power_ratio * 1.3
+
+    def test_original_profile_untouched(self):
+        before = JETSON_AGX_ORIN.membw_gbs
+        orin_in_mode("15W")
+        assert JETSON_AGX_ORIN.membw_gbs == before

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: end-to-end invariants of the system."""
+
+import pytest
+
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+
+@pytest.fixture(scope="module")
+def bfcl_runner():
+    return ExperimentRunner(load_suite("bfcl", n_queries=30))
+
+
+@pytest.fixture(scope="module")
+def geo_runner():
+    return ExperimentRunner(load_suite("geoengine", n_queries=25))
+
+
+class TestEndToEndDeterminism:
+    def test_full_batch_bit_reproducible(self, bfcl_runner):
+        a = bfcl_runner.run("lis-k3", "llama3.1-8b", "q4_K_M")
+        b = bfcl_runner.run("lis-k3", "llama3.1-8b", "q4_K_M")
+        assert a.summary.success_rate == b.summary.success_rate
+        assert a.summary.mean_time_s == b.summary.mean_time_s
+        assert [e.selected_level for e in a.episodes] == \
+               [e.selected_level for e in b.episodes]
+
+    def test_fresh_runner_same_numbers(self):
+        first = ExperimentRunner(load_suite("bfcl", n_queries=10))
+        second = ExperimentRunner(load_suite("bfcl", n_queries=10))
+        a = first.run("lis-k3", "qwen2-7b", "q4_0").summary
+        b = second.run("lis-k3", "qwen2-7b", "q4_0").summary
+        assert a.success_rate == b.success_rate
+        assert a.mean_time_s == b.mean_time_s
+
+
+class TestPaperHeadlineClaims:
+    """The abstract's claims, asserted end-to-end on mini-batches."""
+
+    def test_claim_success_rate_improvements(self, bfcl_runner):
+        default = bfcl_runner.run("default", "hermes2-pro-8b", "q4_K_M").summary
+        lis = bfcl_runner.run("lis-k3", "hermes2-pro-8b", "q4_K_M").summary
+        assert lis.success_rate > default.success_rate
+
+    def test_claim_execution_time_reduced_up_to_70pct(self, bfcl_runner):
+        default = bfcl_runner.run("default", "hermes2-pro-8b", "q4_K_M").summary
+        lis = bfcl_runner.run("lis-k3", "hermes2-pro-8b", "q4_K_M").summary
+        assert lis.mean_time_s < 0.5 * default.mean_time_s
+
+    def test_claim_power_reduced(self, bfcl_runner):
+        default = bfcl_runner.run("default", "hermes2-pro-8b", "q4_K_M").summary
+        lis = bfcl_runner.run("lis-k3", "hermes2-pro-8b", "q4_K_M").summary
+        assert lis.avg_power_w < 0.9 * default.avg_power_w
+
+    def test_claim_no_finetuning_plug_and_play(self, bfcl_runner):
+        # every registry model runs through the identical pipeline object
+        for model in ("hermes2-pro-8b", "qwen2-1.5b"):
+            run = bfcl_runner.run("lis-k3", model, "q4_0", n_queries=5)
+            assert run.summary.n_episodes == 5
+
+    def test_claim_fewer_tools_presented(self, geo_runner):
+        default = geo_runner.run("default", "llama3.1-8b", "q4_K_M").summary
+        lis = geo_runner.run("lis-k3", "llama3.1-8b", "q4_K_M").summary
+        assert lis.mean_tools_presented < 0.6 * default.mean_tools_presented
+
+
+class TestCrossSchemeInvariants:
+    def test_energy_conservation(self, bfcl_runner):
+        # avg power x time == energy for every episode of every scheme
+        for scheme in ("default", "gorilla", "lis-k3"):
+            run = bfcl_runner.run(scheme, "qwen2-7b", "q4_K_M", n_queries=8)
+            for episode in run.episodes:
+                assert episode.energy_j == pytest.approx(
+                    episode.avg_power_w * episode.time_s, rel=1e-9)
+
+    def test_tool_accuracy_bounds_success(self, geo_runner):
+        for scheme in ("default", "lis-k5"):
+            run = geo_runner.run(scheme, "mistral-8b", "q4_K_M", n_queries=15)
+            assert run.summary.success_rate <= run.summary.tool_accuracy + 1e-9
+
+    def test_memory_always_fits_board(self, geo_runner):
+        for scheme in ("default", "gorilla", "lis-k3"):
+            run = geo_runner.run(scheme, "llama3.1-8b", "q8_0", n_queries=5)
+            for episode in run.episodes:
+                assert episode.peak_memory_gb < 30.0
+
+    def test_every_episode_reports_steps(self, geo_runner):
+        run = geo_runner.run("lis-k3", "hermes2-pro-8b", "q4_1", n_queries=10)
+        for episode, query in zip(run.episodes, geo_runner.suite.queries[:10]):
+            assert len(episode.steps) == query.n_steps
+
+
+class TestSeedIsolation:
+    def test_llm_root_seed_changes_outcomes(self):
+        from repro.core.levels import SearchLevelBuilder
+        from repro.core.pipeline import LessIsMoreAgent
+        from repro.llm import SimulatedLLM
+
+        suite = load_suite("bfcl", n_queries=20)
+        levels = SearchLevelBuilder().build(suite)
+        outcomes = []
+        for seed in (1, 2):
+            llm = SimulatedLLM.from_registry("qwen2-1.5b", "q4_0", root_seed=seed)
+            agent = LessIsMoreAgent(llm=llm, suite=suite, levels=levels)
+            outcomes.append([agent.run(q).success for q in suite.queries])
+        assert outcomes[0] != outcomes[1]

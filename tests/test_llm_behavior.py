@@ -1,0 +1,129 @@
+"""Tests for repro.llm.behavior: the monotone trends the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.llm import behavior
+from repro.llm.registry import get_model_spec, get_quant_spec
+from repro.utils.rng import derive_rng
+
+LLAMA = get_model_spec("llama3.1-8b")
+QWEN_SMALL = get_model_spec("qwen2-1.5b")
+Q4KM = get_quant_spec("q4_K_M")
+Q40 = get_quant_spec("q4_0")
+FULL = get_quant_spec("full")
+
+
+class TestSelectionLogit:
+    def test_fewer_tools_higher_logit(self):
+        many = behavior.selection_logit(LLAMA, Q4KM, 51, 0.25, 0.3)
+        few = behavior.selection_logit(LLAMA, Q4KM, 5, 0.25, 0.05)
+        assert few > many
+        # the paper's core effect: the gap must be large
+        assert behavior.sigmoid(few) - behavior.sigmoid(many) > 0.2
+
+    def test_quantization_hurts(self):
+        full = behavior.selection_logit(LLAMA, FULL, 51, 0.25, 0.3)
+        q4 = behavior.selection_logit(LLAMA, Q40, 51, 0.25, 0.3)
+        assert full > q4
+
+    def test_stronger_model_higher(self):
+        strong = behavior.selection_logit(LLAMA, Q4KM, 51, 0.25, 0.3)
+        weak = behavior.selection_logit(QWEN_SMALL, Q4KM, 51, 0.25, 0.3)
+        assert strong > weak
+
+    def test_similar_distractors_hurt(self):
+        far = behavior.selection_logit(LLAMA, Q4KM, 10, 0.1, 0.1)
+        near = behavior.selection_logit(LLAMA, Q4KM, 10, 0.8, 0.1)
+        assert far > near
+
+    def test_pressure_hurts(self):
+        low = behavior.selection_logit(LLAMA, Q4KM, 10, 0.2, 0.05)
+        high = behavior.selection_logit(LLAMA, Q4KM, 10, 0.2, 0.9)
+        assert low > high
+
+    def test_sequential_steps_decay(self):
+        step0 = behavior.selection_logit(LLAMA, Q4KM, 10, 0.2, 0.1, step_index=0)
+        step4 = behavior.selection_logit(LLAMA, Q4KM, 10, 0.2, 0.1, step_index=4)
+        assert step0 > step4
+
+    def test_invalid_n_tools(self):
+        with pytest.raises(ValueError):
+            behavior.selection_logit(LLAMA, Q4KM, 0, 0.2, 0.1)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert behavior.sigmoid(0.0) == pytest.approx(0.5)
+        assert behavior.sigmoid(3.0) == pytest.approx(1 - behavior.sigmoid(-3.0))
+
+    def test_extremes_safe(self):
+        assert behavior.sigmoid(-1000.0) == pytest.approx(0.0)
+        assert behavior.sigmoid(1000.0) == pytest.approx(1.0)
+
+
+class TestArgumentModel:
+    def test_more_params_harder(self):
+        easy = behavior.argument_success_probability(LLAMA, Q4KM, 0, 0.1)
+        hard = behavior.argument_success_probability(LLAMA, Q4KM, 4, 0.1)
+        assert easy > hard
+
+    def test_pressure_hurts_formatting(self):
+        low = behavior.argument_success_probability(LLAMA, Q4KM, 2, 0.05)
+        high = behavior.argument_success_probability(LLAMA, Q4KM, 2, 0.95)
+        assert low > high
+
+    def test_bounded(self):
+        for n in range(6):
+            p = behavior.argument_success_probability(QWEN_SMALL, Q40, n, 1.0)
+            assert 0.02 <= p <= 0.995
+
+    def test_llama_arg_weakness(self):
+        # paper Fig. 2: Llama3.1 has high tool accuracy but low success ->
+        # its argument channel must be weaker than Hermes2's
+        hermes = get_model_spec("hermes2-pro-8b")
+        assert (behavior.argument_success_probability(LLAMA, Q4KM, 2, 0.1)
+                < behavior.argument_success_probability(hermes, Q4KM, 2, 0.1))
+
+
+class TestErrorSignal:
+    def test_weak_models_give_up_more(self):
+        weak = behavior.error_signal_probability(QWEN_SMALL, Q40, 0.5)
+        strong = behavior.error_signal_probability(LLAMA, FULL, 0.5)
+        assert weak > strong
+
+    def test_bounded(self):
+        assert 0.0 <= behavior.error_signal_probability(QWEN_SMALL, Q40, 1.0) <= 0.35
+
+
+class TestCompletionTokens:
+    def test_more_tools_more_tokens(self):
+        rng_a = derive_rng("ct-a")
+        rng_b = derive_rng("ct-a")
+        few = behavior.completion_tokens(QWEN_SMALL, Q40, 3, 2, rng_a)
+        many = behavior.completion_tokens(QWEN_SMALL, Q40, 51, 2, rng_b)
+        assert many > few
+
+    def test_minimum_floor(self):
+        rng = derive_rng("ct-floor")
+        assert behavior.completion_tokens(get_model_spec("hermes2-pro-8b"),
+                                          FULL, 1, 0, rng) >= 8
+
+    def test_deterministic_given_stream(self):
+        a = behavior.completion_tokens(LLAMA, Q4KM, 10, 2, derive_rng("ct-d"))
+        b = behavior.completion_tokens(LLAMA, Q4KM, 10, 2, derive_rng("ct-d"))
+        assert a == b
+
+
+class TestSequentialRetention:
+    def test_step_zero_free(self):
+        assert behavior.sequential_retention(LLAMA, Q4KM, 0) == 0.0
+
+    def test_weak_chains_decay_faster(self):
+        phi3 = get_model_spec("phi3-8b")
+        assert (behavior.sequential_retention(phi3, Q4KM, 3)
+                > behavior.sequential_retention(LLAMA, Q4KM, 3))
+
+    def test_monotone_in_steps(self):
+        values = [behavior.sequential_retention(LLAMA, Q4KM, s) for s in range(5)]
+        assert values == sorted(values)

@@ -1,0 +1,93 @@
+"""Tests for repro.tools.registry and repro.tools.executor."""
+
+import pytest
+
+from repro.tools import SimulatedToolExecutor, ToolCall, ToolParameter, ToolRegistry, ToolSpec
+
+
+@pytest.fixture
+def registry():
+    return ToolRegistry([
+        ToolSpec("alpha", "First tool.", (ToolParameter("x", "integer"),), category="a"),
+        ToolSpec("beta", "Second tool.", (), category="a"),
+        ToolSpec("gamma", "Third tool.", (ToolParameter("s", "string"),), category="b"),
+    ])
+
+
+class TestToolRegistry:
+    def test_len_and_contains(self, registry):
+        assert len(registry) == 3
+        assert "alpha" in registry
+        assert "delta" not in registry
+
+    def test_registration_order_preserved(self, registry):
+        assert registry.names == ["alpha", "beta", "gamma"]
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(ToolSpec("alpha", "dup"))
+
+    def test_get_unknown(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("delta")
+
+    def test_categories(self, registry):
+        assert registry.categories == ["a", "b"]
+
+    def test_by_category(self, registry):
+        assert [t.name for t in registry.by_category("a")] == ["alpha", "beta"]
+
+    def test_subset_preserves_order(self, registry):
+        assert [t.name for t in registry.subset(["gamma", "alpha"])] == ["gamma", "alpha"]
+
+    def test_descriptions_order(self, registry):
+        assert registry.descriptions()[0] == "First tool."
+
+    def test_prompt_text_contains_all(self, registry):
+        text = registry.prompt_text()
+        for name in registry.names:
+            assert name in text
+
+    def test_prompt_text_subset(self, registry):
+        text = registry.prompt_text(["beta"])
+        assert "beta" in text and "alpha" not in text
+
+
+class TestSimulatedToolExecutor:
+    def test_successful_call(self, registry):
+        executor = SimulatedToolExecutor(registry)
+        outcome = executor.execute(ToolCall("alpha", {"x": 3}))
+        assert outcome.ok
+        assert outcome.value["tool"] == "alpha"
+        assert outcome.api_latency_s > 0
+
+    def test_unknown_tool_fails(self, registry):
+        outcome = SimulatedToolExecutor(registry).execute(ToolCall("delta"))
+        assert not outcome.ok
+        assert "unknown tool" in outcome.error
+
+    def test_not_offered_tool_fails(self, registry):
+        executor = SimulatedToolExecutor(registry)
+        outcome = executor.execute(ToolCall("alpha", {"x": 3}), allowed={"beta"})
+        assert not outcome.ok
+        assert "not offered" in outcome.error
+
+    def test_validation_failure(self, registry):
+        outcome = SimulatedToolExecutor(registry).execute(ToolCall("alpha", {"x": "three"}))
+        assert not outcome.ok
+        assert outcome.issues
+
+    def test_deterministic_latency_and_result(self, registry):
+        call = ToolCall("gamma", {"s": "hello"})
+        a = SimulatedToolExecutor(registry).execute(call)
+        b = SimulatedToolExecutor(registry).execute(call)
+        assert a.api_latency_s == b.api_latency_s
+        assert a.value == b.value
+
+    def test_execution_log_and_reset(self, registry):
+        executor = SimulatedToolExecutor(registry)
+        executor.execute(ToolCall("beta"))
+        executor.execute(ToolCall("delta"))
+        assert len(executor.executed) == 2
+        executor.reset()
+        assert executor.executed == []

@@ -1,0 +1,127 @@
+"""Tests for repro.tools.schema."""
+
+import json
+
+import pytest
+
+from repro.tools.schema import ToolCall, ToolParameter, ToolSpec
+
+
+@pytest.fixture
+def weather_tool():
+    return ToolSpec(
+        name="get_weather",
+        description="Get the weather for a city.",
+        parameters=(
+            ToolParameter("city", "string", "City name."),
+            ToolParameter("days", "integer", "Days ahead.", required=False),
+            ToolParameter("units", "string", "Unit system.", required=False,
+                          enum=("metric", "imperial")),
+        ),
+        category="weather",
+    )
+
+
+class TestToolParameter:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            ToolParameter("x", "object")
+
+    def test_enum_requires_string(self):
+        with pytest.raises(ValueError):
+            ToolParameter("x", "integer", enum=("a",))
+
+    @pytest.mark.parametrize("ptype,good,bad", [
+        ("string", "hi", 3),
+        ("integer", 4, 4.5),
+        ("number", 4.5, "4.5"),
+        ("boolean", True, 1),
+    ])
+    def test_accepts_scalar_types(self, ptype, good, bad):
+        parameter = ToolParameter("x", ptype)
+        assert parameter.accepts(good)
+        assert not parameter.accepts(bad)
+
+    def test_boolean_is_not_integer(self):
+        assert not ToolParameter("x", "integer").accepts(True)
+
+    def test_integer_is_a_number(self):
+        assert ToolParameter("x", "number").accepts(3)
+
+    def test_enum_membership(self):
+        parameter = ToolParameter("x", "string", enum=("a", "b"))
+        assert parameter.accepts("a")
+        assert not parameter.accepts("c")
+
+    def test_array_item_types(self):
+        parameter = ToolParameter("xs", "array", item_type="number")
+        assert parameter.accepts([1, 2.5])
+        assert not parameter.accepts([1, "two"])
+        assert not parameter.accepts("not a list")
+
+    def test_nested_array(self):
+        parameter = ToolParameter("m", "array", item_type="array")
+        assert parameter.accepts([[1.0], [2.0]])
+
+    def test_json_schema_shape(self):
+        schema = ToolParameter("xs", "array", "numbers", item_type="number").to_json_schema()
+        assert schema["type"] == "array"
+        assert schema["items"] == {"type": "number"}
+
+
+class TestToolSpec:
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            ToolSpec("t", "d", (ToolParameter("a", "string"), ToolParameter("a", "string")))
+
+    def test_required_parameters(self, weather_tool):
+        assert [p.name for p in weather_tool.required_parameters] == ["city"]
+
+    def test_parameter_lookup(self, weather_tool):
+        assert weather_tool.parameter("days").type == "integer"
+        assert weather_tool.parameter("nope") is None
+
+    def test_validate_ok(self, weather_tool):
+        assert weather_tool.validate_arguments({"city": "Paris"}) == []
+
+    def test_validate_missing_required(self, weather_tool):
+        issues = weather_tool.validate_arguments({})
+        assert any("missing" in issue.reason for issue in issues)
+
+    def test_validate_unexpected(self, weather_tool):
+        issues = weather_tool.validate_arguments({"city": "Paris", "zipcode": "75"})
+        assert any(issue.parameter == "zipcode" for issue in issues)
+
+    def test_validate_wrong_type(self, weather_tool):
+        issues = weather_tool.validate_arguments({"city": 42})
+        assert any("expected string" in issue.reason for issue in issues)
+
+    def test_validate_bad_enum(self, weather_tool):
+        issues = weather_tool.validate_arguments({"city": "Paris", "units": "kelvin"})
+        assert len(issues) == 1
+
+    def test_json_schema_round_trips(self, weather_tool):
+        parsed = json.loads(weather_tool.json_text())
+        assert parsed["function"]["name"] == "get_weather"
+        assert parsed["function"]["parameters"]["required"] == ["city"]
+
+    def test_issue_str(self, weather_tool):
+        issue = weather_tool.validate_arguments({})[0]
+        assert "city" in str(issue)
+
+
+class TestToolCall:
+    def test_arguments_are_copied(self):
+        arguments = {"a": 1}
+        call = ToolCall("t", arguments)
+        arguments["a"] = 2
+        assert call.arguments["a"] == 1
+
+    def test_matches_tool(self):
+        assert ToolCall("t", {"a": 1}).matches_tool(ToolCall("t", {"b": 2}))
+        assert not ToolCall("t").matches_tool(ToolCall("u"))
+
+    def test_to_json_stable_ordering(self):
+        a = ToolCall("t", {"b": 1, "a": 2}).to_json()
+        b = ToolCall("t", {"a": 2, "b": 1}).to_json()
+        assert a == b

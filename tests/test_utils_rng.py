@@ -1,0 +1,53 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import DEFAULT_ROOT_SEED, RngFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_same_stream_same_sequence(self):
+        a = derive_rng("llm", "llama", 3).standard_normal(8)
+        b = derive_rng("llm", "llama", 3).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng("llm", "llama", 3).standard_normal(8)
+        b = derive_rng("llm", "llama", 4).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_root_seed_changes_sequence(self):
+        a = derive_rng("s", root_seed=1).standard_normal(4)
+        b = derive_rng("s", root_seed=2).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_default_root_seed_is_documented_constant(self):
+        a = derive_rng("s").standard_normal(4)
+        b = derive_rng("s", root_seed=DEFAULT_ROOT_SEED).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_stream_reproducible(self):
+        factory = RngFactory(7)
+        a = factory.stream("x").integers(0, 1000, size=5)
+        b = factory.stream("x").integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_namespacing(self):
+        parent = RngFactory(7)
+        child_a = parent.spawn("worker", 1)
+        child_b = parent.spawn("worker", 2)
+        seq_a = child_a.stream("s").standard_normal(4)
+        seq_b = child_b.stream("s").standard_normal(4)
+        assert not np.array_equal(seq_a, seq_b)
+
+    def test_spawn_deterministic(self):
+        a = RngFactory(7).spawn("w", 1).stream("s").standard_normal(4)
+        b = RngFactory(7).spawn("w", 1).stream("s").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_numeric_and_string_parts_mix(self):
+        factory = RngFactory(0)
+        rng = factory.stream("a", 1, 2.5)
+        assert isinstance(rng, np.random.Generator)

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.text."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.text import (
+    normalize_whitespace,
+    sentence_case,
+    snake_to_words,
+    truncate_words,
+    words_to_snake,
+)
+
+
+class TestNormalizeWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a  b\t c\n\nd") == "a b c d"
+
+    def test_strips_ends(self):
+        assert normalize_whitespace("  hi  ") == "hi"
+
+    def test_empty(self):
+        assert normalize_whitespace("") == ""
+
+    @given(st.text())
+    def test_idempotent(self, text):
+        once = normalize_whitespace(text)
+        assert normalize_whitespace(once) == once
+
+
+class TestTruncateWords:
+    def test_no_truncation_needed(self):
+        assert truncate_words("one two", 5) == "one two"
+
+    def test_truncates(self):
+        assert truncate_words("a b c d", 2) == "a b"
+
+    def test_zero_limit(self):
+        assert truncate_words("a b", 0) == ""
+
+    @given(st.text(), st.integers(min_value=0, max_value=20))
+    def test_never_longer_than_limit(self, text, limit):
+        assert len(truncate_words(text, limit).split()) <= limit
+
+
+class TestCaseHelpers:
+    def test_sentence_case(self):
+        assert sentence_case("hello world") == "Hello world"
+
+    def test_sentence_case_empty(self):
+        assert sentence_case("   ") == ""
+
+    def test_snake_to_words(self):
+        assert snake_to_words("get_weather_info") == "get weather info"
+
+    def test_words_to_snake(self):
+        assert words_to_snake("Get the Weather!") == "get_the_weather"
+
+    def test_round_trip_simple(self):
+        assert words_to_snake(snake_to_words("plot_vqa_captions")) == "plot_vqa_captions"

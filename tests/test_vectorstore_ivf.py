@@ -1,0 +1,88 @@
+"""Tests for repro.vectorstore.ivf."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore import FlatIndex, IVFIndex
+from repro.vectorstore.ivf import kmeans
+
+
+@pytest.fixture
+def clustered_data():
+    rng = derive_rng("test-ivf-data")
+    centers = np.array([[5.0, 0.0], [-5.0, 0.0], [0.0, 5.0]])
+    points = np.vstack([center + 0.3 * rng.standard_normal((20, 2)) for center in centers])
+    return points
+
+
+class TestKMeans:
+    def test_shapes(self, clustered_data):
+        centroids, assignments = kmeans(clustered_data, 3)
+        assert centroids.shape == (3, 2)
+        assert assignments.shape == (60,)
+
+    def test_deterministic(self, clustered_data):
+        a, _ = kmeans(clustered_data, 3)
+        b, _ = kmeans(clustered_data, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_recovers_separated_clusters(self, clustered_data):
+        _, assignments = kmeans(clustered_data, 3)
+        # each ground-truth block must be pure
+        for block in range(3):
+            labels = assignments[block * 20 : (block + 1) * 20]
+            assert len(set(labels.tolist())) == 1
+
+    def test_clamps_k_to_n(self):
+        centroids, _ = kmeans(np.ones((2, 3)), 10)
+        assert centroids.shape[0] == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((2, 2)), 0)
+
+
+class TestIVFIndex:
+    def test_self_trains_on_first_search(self, clustered_data):
+        index = IVFIndex(dim=2, n_lists=3)
+        index.add(clustered_data)
+        assert not index.is_trained
+        index.search_one(np.array([5.0, 0.0]), k=1)
+        assert index.is_trained
+
+    def test_explicit_train_without_vectors_raises(self):
+        with pytest.raises(ValueError):
+            IVFIndex(dim=2).train()
+
+    def test_search_matches_flat_on_easy_data(self, clustered_data):
+        ivf = IVFIndex(dim=2, n_lists=3, nprobe=1)
+        flat = FlatIndex(dim=2)
+        ivf.add(clustered_data)
+        flat.add(clustered_data)
+        query = np.array([4.8, 0.3])
+        assert ivf.search_one(query, k=1).top()[1] == flat.search_one(query, k=1).top()[1]
+
+    def test_nprobe_all_lists_equals_flat(self, clustered_data):
+        ivf = IVFIndex(dim=2, n_lists=3, nprobe=3)
+        flat = FlatIndex(dim=2)
+        ivf.add(clustered_data)
+        flat.add(clustered_data)
+        for query in (np.array([1.0, 1.0]), np.array([-3.0, 2.0])):
+            ivf_ids = set(ivf.search_one(query, k=5).ids.tolist())
+            flat_ids = set(flat.search_one(query, k=5).ids.tolist())
+            assert ivf_ids == flat_ids
+
+    def test_add_after_train_reassigns(self, clustered_data):
+        index = IVFIndex(dim=2, n_lists=3, nprobe=3)
+        index.add(clustered_data)
+        index.train()
+        index.add(np.array([[100.0, 100.0]]), ids=[999])
+        result = index.search_one(np.array([100.0, 100.0]), k=1)
+        assert result.top()[1] == 999
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IVFIndex(dim=2, n_lists=0)
+        with pytest.raises(ValueError):
+            IVFIndex(dim=2, nprobe=0)

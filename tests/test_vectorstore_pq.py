@@ -1,0 +1,98 @@
+"""Tests for the product-quantization index."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore import FlatIndex, PQIndex, index_factory
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = derive_rng("pq-test-data")
+    return rng.standard_normal((120, 16))
+
+
+class TestConstruction:
+    def test_m_must_divide_dim(self):
+        with pytest.raises(ValueError):
+            PQIndex(dim=16, m=5)
+
+    def test_centroid_bounds(self):
+        with pytest.raises(ValueError):
+            PQIndex(dim=16, m=4, n_centroids=300)
+        with pytest.raises(ValueError):
+            PQIndex(dim=16, m=4, n_centroids=1)
+
+    def test_l2_only(self):
+        with pytest.raises(ValueError):
+            PQIndex(dim=16, metric="cosine")
+
+    def test_factory_string(self):
+        index = index_factory(16, "PQ4")
+        assert isinstance(index, PQIndex)
+        assert index.m == 4
+
+
+class TestSearch:
+    def test_self_trains(self, data):
+        index = PQIndex(dim=16, m=4, n_centroids=32)
+        index.add(data)
+        assert not index.is_trained
+        index.search_one(data[0], k=1)
+        assert index.is_trained
+
+    def test_train_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PQIndex(dim=16, m=4).train()
+
+    def test_recall_against_exact(self, data):
+        pq = PQIndex(dim=16, m=8, n_centroids=64)
+        flat = FlatIndex(dim=16, metric="l2")
+        pq.add(data)
+        flat.add(data)
+        hits = 0
+        for qi in range(20):
+            query = data[qi] + 0.05 * derive_rng("pq-q", qi).standard_normal(16)
+            pq_top = set(pq.search_one(query, k=5).ids.tolist())
+            flat_top1 = flat.search_one(query, k=1).top()[1]
+            hits += int(flat_top1 in pq_top)
+        assert hits >= 16  # top-1@5 recall >= 80% on easy queries
+
+    def test_deterministic(self, data):
+        a = PQIndex(dim=16, m=4, n_centroids=16)
+        b = PQIndex(dim=16, m=4, n_centroids=16)
+        a.add(data)
+        b.add(data)
+        ra = a.search_one(data[3], k=4)
+        rb = b.search_one(data[3], k=4)
+        np.testing.assert_array_equal(ra.ids, rb.ids)
+
+    def test_add_after_train_reencodes(self, data):
+        index = PQIndex(dim=16, m=4, n_centroids=16)
+        index.add(data[:100])
+        index.train()
+        index.add(data[100:], ids=list(range(1000, 1020)))
+        result = index.search_one(data[110], k=1)
+        assert result.top()[1] == 1010
+
+
+class TestCompression:
+    def test_compression_ratio_large(self, data):
+        index = PQIndex(dim=16, m=4, n_centroids=16)
+        index.add(data)
+        index.train()
+        # float64 16-dim = 128 bytes -> 4 bytes of codes (plus codebooks)
+        assert index.compression_ratio() > 5.0
+
+    def test_code_bytes_scale_with_m(self, data):
+        small = PQIndex(dim=16, m=2, n_centroids=16)
+        large = PQIndex(dim=16, m=8, n_centroids=16)
+        for index in (small, large):
+            index.add(data)
+            index.train()
+        assert (large._codes.nbytes  # noqa: SLF001 - test introspection
+                == 4 * small._codes.nbytes)
+
+    def test_untrained_ratio_is_one(self):
+        assert PQIndex(dim=16, m=4).compression_ratio() == 1.0
