@@ -1,0 +1,23 @@
+# Developer entry points for the Less-is-More reproduction.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench bench-check bench-paper
+
+## tier-1 test suite (the CI gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## regenerate the committed perf baseline at the repo root
+bench:
+	$(PYTHON) scripts/bench_perf.py --output BENCH_perf.json
+
+## measure fresh numbers and fail on >25% throughput regression
+bench-check:
+	$(PYTHON) scripts/bench_perf.py --output /tmp/bench_perf_fresh.json
+	$(PYTHON) scripts/check_perf_regression.py --fresh /tmp/bench_perf_fresh.json
+
+## the paper-reproduction benchmark tables/figures (slow)
+bench-paper:
+	$(PYTHON) -m pytest benchmarks/ -q

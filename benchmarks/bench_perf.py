@@ -1,0 +1,113 @@
+"""Perf benchmarks for the vectorized retrieval stack.
+
+Unlike the ``bench_table*``/``bench_figure*`` files (which reproduce the
+paper's numbers), this file tracks *our* implementation speed: batched
+encode throughput, multi-query search latency and episode throughput.
+``scripts/bench_perf.py`` exports the same measurements to the committed
+``BENCH_perf.json`` baseline; this pytest-benchmark variant keeps the
+speedup guarantees asserted in CI runs of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.embedding import SentenceEmbedder
+from repro.embedding.cache import CachedEmbedder
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+from repro.vectorstore import FlatIndex
+
+
+@pytest.fixture(scope="module")
+def edgehome_corpus():
+    return load_suite("edgehome").registry.descriptions()
+
+
+@pytest.mark.benchmark(group="perf-encode")
+def test_batched_encode_speedup(benchmark, edgehome_corpus):
+    """Batched encode must beat the historical loop by >= 5x, bit-for-bit."""
+    embedder = SentenceEmbedder()
+    embedder.encode(edgehome_corpus)  # warm directions for both paths
+
+    batched = benchmark(embedder.encode, edgehome_corpus)
+
+    # numerical contract: batched == stacked one-at-a-time (bitwise) and
+    # == the historical accumulation loop (float precision)
+    singles = np.stack([embedder.encode_one(text) for text in edgehome_corpus])
+    np.testing.assert_array_equal(batched, singles)
+    reference = np.stack([embedder.encode_one_reference(text)
+                          for text in edgehome_corpus])
+    np.testing.assert_allclose(batched, reference, rtol=1e-12, atol=1e-13)
+
+    # speed contract: median-of-repeats on both paths, same machine
+    import time
+
+    def median_s(fn, repeats=15):
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    batched_s = median_s(lambda: embedder.encode(edgehome_corpus))
+    loop_s = median_s(
+        lambda: [embedder.encode_one_reference(text) for text in edgehome_corpus],
+        repeats=7,
+    )
+    speedup = loop_s / batched_s
+    attach_rows(benchmark, {
+        "batched_texts_per_s": len(edgehome_corpus) / batched_s,
+        "loop_texts_per_s": len(edgehome_corpus) / loop_s,
+        "speedup": speedup,
+    })
+    print(f"\nencode speedup: x{speedup:.1f} "
+          f"({len(edgehome_corpus) / batched_s:.0f} vs "
+          f"{len(edgehome_corpus) / loop_s:.0f} texts/s)")
+    assert speedup >= 5.0
+
+
+@pytest.mark.benchmark(group="perf-search")
+def test_batched_search_beats_per_query(benchmark, edgehome_corpus):
+    embedder = SentenceEmbedder()
+    index = FlatIndex(dim=embedder.dim, metric="cosine")
+    index.add(embedder.encode(edgehome_corpus))
+    queries = embedder.encode([f"{text} now please" for text in edgehome_corpus])
+
+    batched = benchmark(index.search, queries, 3)
+
+    per_query = [index.search_one(query, 3) for query in queries]
+    for got, want in zip(batched, per_query):
+        np.testing.assert_array_equal(got.ids, want.ids)
+
+    import time
+    start = time.perf_counter()
+    for _ in range(50):
+        index.search(queries, 3)
+    batched_s = (time.perf_counter() - start) / 50
+    start = time.perf_counter()
+    for _ in range(10):
+        for query in queries:
+            index.search_one(query, 3)
+    per_query_s = (time.perf_counter() - start) / 10
+    attach_rows(benchmark, {"batch_speedup": per_query_s / batched_s})
+    assert per_query_s > batched_s
+
+
+@pytest.mark.benchmark(group="perf-episodes")
+def test_episode_throughput(benchmark):
+    suite = load_suite("edgehome", n_queries=12)
+    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    agent = runner.make_agent("lis-k3", "hermes2-pro-8b", "q4_K_M")
+    agent.run(suite.queries[0])  # warm caches
+
+    def episodes():
+        return [agent.run(query) for query in suite.queries]
+
+    results = benchmark(episodes)
+    assert all(episode.steps for episode in results)
+    attach_rows(benchmark, {"n_episodes": len(results)})

@@ -1,0 +1,190 @@
+"""Perf-tracking harness: measure the retrieval stack, emit BENCH_perf.json.
+
+Times the four hot paths this repo optimizes — batched sentence
+encoding, multi-query index search, single-episode execution, and the
+full experiment grid — and writes the numbers to ``BENCH_perf.json`` at
+the repo root.  The committed file is the perf baseline every future PR
+is compared against (see ``scripts/check_perf_regression.py`` and
+``make bench-check``).
+
+Run:  PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.embedding.cache import CachedEmbedder  # noqa: E402
+from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
+from repro.evaluation.runner import ExperimentRunner  # noqa: E402
+from repro.suites import load_suite  # noqa: E402
+from repro.vectorstore import FlatIndex, IVFIndex, PQIndex  # noqa: E402
+
+#: grid used for the wall-time measurement (small but multi-cell)
+GRID_SCHEMES = ["default", "gorilla", "lis-k3"]
+GRID_MODELS = ["hermes2-pro-8b"]
+GRID_QUANTS = ["q4_K_M", "q8_0"]
+
+
+def median_time(fn, repeats: int, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_encode(repeats: int) -> dict:
+    """Batched vs historical-loop encode throughput on the EdgeHome corpus."""
+    corpus = load_suite("edgehome").registry.descriptions()
+    embedder = SentenceEmbedder()
+    embedder.encode(corpus)  # warm directions/memos for both paths
+
+    batched_s = median_time(lambda: embedder.encode(corpus), repeats)
+    loop_s = median_time(
+        lambda: [embedder.encode_one_reference(text) for text in corpus],
+        max(3, repeats // 5),
+    )
+    return {
+        "corpus": "edgehome",
+        "n_texts": len(corpus),
+        "batched_ms": batched_s * 1e3,
+        "loop_reference_ms": loop_s * 1e3,
+        "batched_texts_per_s": len(corpus) / batched_s,
+        "loop_reference_texts_per_s": len(corpus) / loop_s,
+        "speedup": loop_s / batched_s,
+    }
+
+
+def bench_search(repeats: int) -> dict:
+    """Multi-query search latency for flat / IVF / PQ over a real corpus."""
+    suite = load_suite("bfcl")
+    embedder = SentenceEmbedder()
+    vectors = embedder.encode(suite.registry.descriptions())
+    queries = embedder.encode([query.text for query in suite.queries[:64]])
+
+    flat = FlatIndex(dim=embedder.dim, metric="cosine")
+    flat.add(vectors)
+    ivf = IVFIndex(dim=embedder.dim, metric="cosine", n_lists=8, nprobe=2)
+    ivf.add(vectors)
+    ivf.train()
+    pq = PQIndex(dim=embedder.dim, m=16, n_centroids=32)
+    pq.add(vectors)
+    pq.train()
+
+    rows = {"n_vectors": len(flat), "n_queries": int(queries.shape[0]), "k": 3}
+    for name, index in (("flat", flat), ("ivf", ivf), ("pq", pq)):
+        batched_s = median_time(lambda: index.search(queries, 3), repeats)
+        per_query_s = median_time(
+            lambda: [index.search_one(query, 3) for query in queries],
+            max(3, repeats // 5),
+        )
+        rows[f"{name}_batched_ms"] = batched_s * 1e3
+        rows[f"{name}_per_query_ms"] = per_query_s * 1e3
+        rows[f"{name}_batch_speedup"] = per_query_s / batched_s
+    return rows
+
+
+def bench_episodes(repeats: int) -> dict:
+    """End-to-end Less-is-More episode throughput (recommend → plan → run)."""
+    suite = load_suite("edgehome", n_queries=16)
+    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    agent = runner.make_agent("lis-k3", "hermes2-pro-8b", "q4_K_M")
+    agent.run(suite.queries[0])  # warm caches
+
+    def episode_batch():
+        for query in suite.queries:
+            agent.run(query)
+
+    batch_s = median_time(episode_batch, max(3, repeats // 5))
+    return {
+        "suite": "edgehome",
+        "scheme": "lis-k3",
+        "n_episodes": len(suite.queries),
+        "episodes_per_s": len(suite.queries) / batch_s,
+    }
+
+
+def bench_grid(n_queries: int) -> dict:
+    """Full-grid wall time, sequential vs parallel workers."""
+    suite = load_suite("edgehome", n_queries=n_queries)
+
+    def run(max_workers):
+        runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+        start = time.perf_counter()
+        runner.run_grid(GRID_SCHEMES, GRID_MODELS, GRID_QUANTS,
+                        max_workers=max_workers)
+        return time.perf_counter() - start
+
+    sequential_s = run(max_workers=1)
+    parallel_s = run(max_workers=None)
+    return {
+        "suite": "edgehome",
+        "cells": len(GRID_SCHEMES) * len(GRID_MODELS) * len(GRID_QUANTS),
+        "n_queries": n_queries,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "parallel_speedup": sequential_s / parallel_s,
+    }
+
+
+def collect(repeats: int, grid_queries: int) -> dict:
+    return {
+        "schema_version": 1,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "encode": bench_encode(repeats),
+        "search": bench_search(repeats),
+        "episode": bench_episodes(repeats),
+        "grid": bench_grid(grid_queries),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--repeats", type=int, default=30,
+                        help="timing repeats per measurement (median is kept)")
+    parser.add_argument("--grid-queries", type=int, default=12,
+                        help="queries per grid cell in the wall-time bench")
+    args = parser.parse_args(argv)
+
+    report = collect(args.repeats, args.grid_queries)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    encode, search, grid = report["encode"], report["search"], report["grid"]
+    print(f"encode : {encode['batched_texts_per_s']:>10.0f} texts/s batched "
+          f"(x{encode['speedup']:.1f} vs loop reference)")
+    print(f"search : flat {search['flat_batched_ms']:.2f} ms / "
+          f"{search['n_queries']} queries (x{search['flat_batch_speedup']:.1f} "
+          f"vs per-query)")
+    print(f"episode: {report['episode']['episodes_per_s']:.1f} episodes/s")
+    print(f"grid   : {grid['cells']} cells in {grid['sequential_s']:.2f}s seq / "
+          f"{grid['parallel_s']:.2f}s parallel (x{grid['parallel_speedup']:.2f})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

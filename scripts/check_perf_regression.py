@@ -1,0 +1,82 @@
+"""Compare a fresh BENCH_perf.json against the committed baseline.
+
+Exits nonzero when any tracked throughput metric regressed by more than
+the allowed fraction (default 25%).  Latency-style metrics (``*_ms``,
+``*_s``) regress when they grow; throughput-style metrics (``*_per_s``,
+``speedup``) regress when they shrink.  Machine metadata is reported but
+never compared.
+
+Run (see also ``make bench-check``)::
+
+    PYTHONPATH=src python scripts/bench_perf.py --output /tmp/fresh.json
+    python scripts/check_perf_regression.py --fresh /tmp/fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (section, metric, higher_is_better) triples guarded against regression.
+TRACKED_METRICS = [
+    ("encode", "batched_texts_per_s", True),
+    ("encode", "speedup", True),
+    ("search", "flat_batched_ms", False),
+    ("search", "ivf_batched_ms", False),
+    ("search", "pq_batched_ms", False),
+    ("episode", "episodes_per_s", True),
+    ("grid", "sequential_s", False),
+    ("grid", "parallel_s", False),
+]
+
+
+def compare(baseline: dict, fresh: dict,
+            tolerance: float) -> list[tuple[str, float, float, float]]:
+    """Return ``(metric, baseline, fresh, ratio)`` rows that regressed."""
+    regressions = []
+    for section, metric, higher_is_better in TRACKED_METRICS:
+        base_value = baseline.get(section, {}).get(metric)
+        fresh_value = fresh.get(section, {}).get(metric)
+        if base_value is None or fresh_value is None or base_value <= 0:
+            continue
+        ratio = fresh_value / base_value
+        regressed = (ratio < 1.0 - tolerance if higher_is_better
+                     else ratio > 1.0 + tolerance)
+        if regressed:
+            regressions.append((f"{section}.{metric}", base_value, fresh_value, ratio))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="committed baseline JSON")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated JSON to validate")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+
+    regressions = compare(baseline, fresh, args.tolerance)
+    checked = [f"{section}.{metric}" for section, metric, _ in TRACKED_METRICS
+               if baseline.get(section, {}).get(metric) is not None]
+    print(f"checked {len(checked)} metrics against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    if not regressions:
+        print("OK: no throughput regression")
+        return 0
+    for name, base_value, fresh_value, ratio in regressions:
+        print(f"REGRESSION {name}: baseline {base_value:.4g} -> fresh "
+              f"{fresh_value:.4g} ({ratio:.2f}x)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.vectorops import normalize_rows
+
 
 def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
     """Return the symmetric ``(n, n)`` distance matrix.
@@ -18,9 +20,7 @@ def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.nda
         np.maximum(dists, 0.0, out=dists)
         matrix = np.sqrt(dists)
     elif metric == "cosine":
-        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-        norms[norms == 0.0] = 1.0
-        unit = vectors / norms
+        unit = normalize_rows(vectors)
         matrix = 1.0 - unit @ unit.T
         np.clip(matrix, 0.0, 2.0, out=matrix)
     else:

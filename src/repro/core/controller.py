@@ -73,23 +73,31 @@ class ToolController:
         self.force_level = force_level
 
     def decide(self, recommendation_vectors: np.ndarray) -> ControllerDecision:
-        """Arbitrate levels for a batch of recommender embeddings (``E``)."""
+        """Arbitrate levels for a batch of recommender embeddings (``E``).
+
+        Both levels are searched with one multi-query call per index; the
+        score aggregates are computed on the stacked ``(q, k)`` matrices.
+        """
         vectors = np.atleast_2d(np.asarray(recommendation_vectors, dtype=float))
         if vectors.shape[0] == 0 or len(self.levels.tool_index) == 0:
             return self._level3(0.0, 0.0)
 
-        level1_results = self.levels.tool_index.search(vectors, self.k)
-        level1_score = float(np.mean([result.mean_score() for result in level1_results]))
-        level1_top1 = max(float(result.scores[0]) for result in level1_results)
+        level1_scores, level1_ids = self.levels.tool_index.search_arrays(vectors, self.k)
+        level1_score = float(level1_scores.mean())
+        level1_top1 = float(level1_scores[:, 0].max())
 
         if len(self.levels.cluster_index) > 0:
-            level2_results = self.levels.cluster_index.search(vectors, self.k)
-            level2_score = float(np.mean([result.mean_score() for result in level2_results]))
-            level2_top1 = max(float(result.scores[0]) for result in level2_results)
+            level2_scores, level2_ids = self.levels.cluster_index.search_arrays(
+                vectors, self.k)
+            level2_score = float(level2_scores.mean())
+            level2_top1 = float(level2_scores[:, 0].max())
+            has_level2 = True
         else:
-            level2_results = []
+            level2_scores = np.zeros((0, 0))
+            level2_ids = np.zeros((0, 0), dtype=np.int64)
             level2_score = 0.0
             level2_top1 = 0.0
+            has_level2 = False
 
         if self.force_level == 3:
             return self._level3(level1_score, level2_score)
@@ -102,28 +110,29 @@ class ToolController:
             return self._level3(level1_score, level2_score)
 
         multi_need = vectors.shape[0] >= 2
-        level2_preferred = (
+        # has_level2 guards both disjuncts: an empty cluster index must
+        # never win arbitration (its 0.0 score can exceed a negative
+        # Level-1 mean, which would present an empty tool set)
+        level2_preferred = has_level2 and (
             level2_score > level1_score
-            or (multi_need and level2_results
+            or (multi_need
                 and level2_score >= self.multi_need_margin * level1_score)
         )
         if self.force_level is not None:
-            level2_preferred = self.force_level == 2 and bool(level2_results)
+            level2_preferred = self.force_level == 2 and has_level2
         if not level2_preferred:
             tools: dict[str, None] = {}
-            for result in level1_results:
-                for tool_id in result.ids:
-                    tools.setdefault(self.levels.tool_names[int(tool_id)], None)
+            for tool_id in level1_ids.ravel():
+                tools.setdefault(self.levels.tool_names[int(tool_id)], None)
             return ControllerDecision(1, tuple(tools), level1_score, level2_score)
 
         # Level 2: rank clusters by their best score over recommendations,
         # union the member tools of the strongest clusters.
         cluster_scores: dict[int, float] = {}
-        for result in level2_results:
-            for score, cluster_id in zip(result.scores, result.ids):
-                cluster_id = int(cluster_id)
-                cluster_scores[cluster_id] = max(cluster_scores.get(cluster_id, -np.inf),
-                                                 float(score))
+        for score, cluster_id in zip(level2_scores.ravel(), level2_ids.ravel()):
+            cluster_id = int(cluster_id)
+            cluster_scores[cluster_id] = max(cluster_scores.get(cluster_id, -np.inf),
+                                             float(score))
         ranked = sorted(cluster_scores, key=lambda cid: cluster_scores[cid], reverse=True)
         tools = {}
         for cluster_id in ranked[: self.max_level2_clusters]:

@@ -10,6 +10,7 @@ from repro.clustering import AgglomerativeClustering
 from repro.embedding.cache import CachedEmbedder, shared_embedder
 from repro.suites.augmentation import AugmentationEngine
 from repro.suites.base import BenchmarkSuite
+from repro.utils.vectorops import normalize_rows
 from repro.vectorstore import FlatIndex
 
 
@@ -163,11 +164,7 @@ class SearchLevelBuilder:
         """
         descriptions = [suite.registry.get(name).description for name in tools]
         vectors = self.embedder.encode(descriptions)
-        centroid = vectors.mean(axis=0)
-        norm = float(np.linalg.norm(centroid))
-        if norm > 0.0:
-            centroid = centroid / norm
-        return centroid
+        return normalize_rows(vectors.mean(axis=0, keepdims=True))[0]
 
     @staticmethod
     def _default_cluster_count(suite: BenchmarkSuite) -> int:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.agent_base import (
     DEFAULT_CONTEXT_WINDOW,
     EMBEDDING_OVERHEAD_S,
@@ -18,6 +16,7 @@ from repro.embedding.cache import CachedEmbedder, shared_embedder
 from repro.hardware import JETSON_AGX_ORIN, DeviceProfile
 from repro.llm import SimulatedLLM
 from repro.suites.base import BenchmarkSuite, Query
+from repro.utils.vectorops import blend_and_normalize
 
 
 class LessIsMoreAgent(FunctionCallingAgent):
@@ -90,13 +89,10 @@ class LessIsMoreAgent(FunctionCallingAgent):
         # paper Section III-B: the recommended descriptions are embedded
         # "alongside the corresponding user task" — realised as a convex
         # blend so the description still dominates the match while the
-        # task context disambiguates multi-tool workflows
-        query_vec = self.embedder.encode_one(query.text)
-        vectors = self.embedder.encode(list(recommendation.descriptions))
-        vectors = 0.75 * vectors + 0.25 * query_vec[None, :]
-        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-        norms[norms == 0.0] = 1.0
-        vectors = vectors / norms
+        # task context disambiguates multi-tool workflows.  Query and
+        # descriptions go through the cache in one batched encode.
+        embedded = self.embedder.encode([query.text, *recommendation.descriptions])
+        vectors = blend_and_normalize(embedded[1:], embedded[0], weight=0.75)
         decision = self.controller.decide(vectors)
         window = (self.context_window if decision.level in (1, 2)
                   else DEFAULT_CONTEXT_WINDOW)

@@ -21,12 +21,14 @@ and the result is L2-normalised — i.e. a random-projection bag-of-features
 model, fully deterministic across processes and platforms.
 """
 
+from repro.embedding.directions import DirectionBank
 from repro.embedding.lexicon import ConceptLexicon, default_lexicon
 from repro.embedding.sentence import SentenceEmbedder, cosine_similarity
 from repro.embedding.tokenizer import Tokenizer
 
 __all__ = [
     "ConceptLexicon",
+    "DirectionBank",
     "SentenceEmbedder",
     "Tokenizer",
     "cosine_similarity",

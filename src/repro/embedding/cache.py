@@ -4,9 +4,20 @@ Tool descriptions and benchmark queries are embedded many times across
 schemes and models during an evaluation sweep; a shared cache keeps the
 whole Figure-2 grid tractable without changing any semantics (the
 embedder is deterministic).
+
+The cache is batch-aware: one pass partitions a batch into hits and
+misses, the misses are embedded in a single vectorized
+:meth:`SentenceEmbedder.encode` call, and the results are merged back in
+order.  An optional ``max_entries`` bound turns the cache into an LRU so
+long-lived services cannot grow without limit.  All cache mutation is
+lock-protected, so one embedder can be shared by a parallel experiment
+grid.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -14,34 +25,137 @@ from repro.embedding.sentence import SentenceEmbedder
 
 
 class CachedEmbedder:
-    """Deterministic embedder with an unbounded text -> vector cache."""
+    """Deterministic embedder with a text -> vector cache.
 
-    def __init__(self, embedder: SentenceEmbedder | None = None):
+    Parameters
+    ----------
+    embedder:
+        The underlying :class:`SentenceEmbedder` (a default instance is
+        created when omitted).
+    max_entries:
+        When set, the cache evicts least-recently-used entries beyond
+        this bound; ``None`` (the default) keeps every vector.
+    """
+
+    def __init__(self, embedder: SentenceEmbedder | None = None,
+                 max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.embedder = embedder if embedder is not None else SentenceEmbedder()
-        self._cache: dict[str, np.ndarray] = {}
+        self.max_entries = max_entries
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._generation = getattr(self.embedder, "projection_generation", 0)
 
     @property
     def dim(self) -> int:
         return self.embedder.dim
 
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
     def encode_one(self, text: str) -> np.ndarray:
         """Embed one string, reusing the cached vector when available."""
-        vec = self._cache.get(text)
-        if vec is None:
-            vec = self.embedder.encode_one(text)
-            self._cache[text] = vec
-        return vec
+        with self._lock:
+            self._check_generation()
+            vec = self._lookup(text)
+        if vec is not None:
+            return vec
+        vec = self.embedder.encode_one(text)
+        with self._lock:
+            return self._store(text, vec)
 
     def encode(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
-        """Embed a batch through the cache."""
+        """Embed a batch through the cache.
+
+        Cache hits are collected in a single partitioning pass; the
+        unique misses are embedded with one batched call.
+        """
         if isinstance(texts, str):
             raise TypeError("encode() expects a sequence of strings")
+        texts = list(texts)
         if not texts:
             return np.zeros((0, self.dim))
-        return np.stack([self.encode_one(text) for text in texts])
+        out: list[np.ndarray | None] = [None] * len(texts)
+        miss_positions: dict[str, list[int]] = {}
+        with self._lock:
+            self._check_generation()
+            for i, text in enumerate(texts):
+                vec = self._lookup(text)
+                if vec is None:
+                    miss_positions.setdefault(text, []).append(i)
+                else:
+                    out[i] = vec
+        if miss_positions:
+            unique_misses = list(miss_positions)
+            fresh = self.embedder.encode(unique_misses)
+            with self._lock:
+                for text, vec in zip(unique_misses, fresh):
+                    stored = self._store(text, vec)
+                    for i in miss_positions[text]:
+                        out[i] = stored
+        return np.stack(out)
 
+    # ------------------------------------------------------------------
+    # cache introspection / management
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._cache)
+
+    def cache_info(self) -> dict[str, int | None]:
+        """Hit/miss/eviction counters plus current and maximum size."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "max_entries": self.max_entries,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached vector (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # internals (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _check_generation(self) -> None:
+        """Drop cached vectors produced under an older projection.
+
+        :meth:`SentenceEmbedder.reseed` re-rolls the random directions,
+        making previously cached vectors incomparable with new ones;
+        tracking the embedder's projection generation keeps the cache
+        coherent without an explicit invalidation call."""
+        generation = getattr(self.embedder, "projection_generation", 0)
+        if generation != self._generation:
+            self._cache.clear()
+            self._generation = generation
+
+    def _lookup(self, text: str) -> np.ndarray | None:
+        vec = self._cache.get(text)
+        if vec is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        if self.max_entries is not None:
+            self._cache.move_to_end(text)
+        return vec
+
+    def _store(self, text: str, vec: np.ndarray) -> np.ndarray:
+        kept = self._cache.get(text)
+        if kept is not None:
+            # another thread computed the same text first; keep its copy
+            # so every caller observes one canonical vector per text
+            return kept
+        self._cache[text] = vec
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        return vec
 
 
 _SHARED: CachedEmbedder | None = None

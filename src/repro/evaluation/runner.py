@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.baselines import DefaultAgent, GorillaAgent
@@ -87,12 +89,31 @@ class ExperimentRunner:
         )
 
     def run_grid(self, schemes: list[str], models: list[str], quants: list[str],
-                 n_queries: int | None = None) -> dict[tuple[str, str, str], EvaluationRun]:
-        """Run the full scheme x model x quant grid."""
-        results: dict[tuple[str, str, str], EvaluationRun] = {}
-        for model in models:
-            for quant in quants:
-                for scheme in schemes:
-                    run = self.run(scheme, model, quant, n_queries=n_queries)
-                    results[run.key] = run
-        return results
+                 n_queries: int | None = None,
+                 max_workers: int | None = None) -> dict[tuple[str, str, str], EvaluationRun]:
+        """Run the full scheme x model x quant grid.
+
+        Cells are independent (each builds its own agent/LLM), so they
+        execute on a thread pool sized by ``max_workers`` (default: one
+        worker per CPU, capped at the cell count; pass 1 to force the
+        sequential path).  The model-independent offline state — Search
+        Levels and the embedder cache warmed with the tool corpus — is
+        built once *before* dispatch so every worker shares it; the
+        embedder cache and direction bank are lock-protected, and every
+        episode draws from named RNG streams, so results are identical
+        to a sequential run regardless of scheduling.
+        """
+        cells = [(scheme, model, quant)
+                 for model in models for quant in quants for scheme in schemes]
+        # shared offline state, built exactly once outside the pool
+        _ = self.levels
+        self.embedder.encode(self.suite.registry.descriptions())
+        if max_workers is None:
+            max_workers = min(len(cells), os.cpu_count() or 1)
+        if max_workers <= 1 or len(cells) <= 1:
+            runs = [self.run(*cell, n_queries=n_queries) for cell in cells]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                runs = list(pool.map(
+                    lambda cell: self.run(*cell, n_queries=n_queries), cells))
+        return {run.key: run for run in runs}

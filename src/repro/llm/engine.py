@@ -257,19 +257,21 @@ class SimulatedLLM:
         return float(np.dot(self.embedder.encode_one(text_a),
                             self.embedder.encode_one(text_b)))
 
+    def _query_tool_similarities(self, query: Query,
+                                 candidates: list[ToolSpec]) -> np.ndarray:
+        """Query-vs-description dot products via one batched encode."""
+        vectors = self.embedder.encode(
+            [query.text] + [tool.description for tool in candidates])
+        return vectors[1:] @ vectors[0]
+
     def _distractor_similarity(self, query: Query, included: list[ToolSpec],
                                gold_tool: str) -> float:
         """Mean query-similarity of the 3 closest non-gold presented tools."""
-        query_vec = self.embedder.encode_one(query.text)
-        sims = sorted(
-            (float(np.dot(query_vec, self.embedder.encode_one(tool.description)))
-             for tool in included if tool.name != gold_tool),
-            reverse=True,
-        )
-        if not sims:
+        candidates = [tool for tool in included if tool.name != gold_tool]
+        if not candidates:
             return 0.0
-        top = sims[:3]
-        return float(np.mean(top))
+        sims = np.sort(self._query_tool_similarities(query, candidates))[::-1]
+        return float(np.mean(sims[:3]))
 
     def _pick_distractor(self, query: Query, included: list[ToolSpec],
                          gold_tool: str, rng: np.random.Generator) -> ToolSpec | None:
@@ -277,11 +279,7 @@ class SimulatedLLM:
         candidates = [tool for tool in included if tool.name != gold_tool]
         if not candidates:
             return None
-        query_vec = self.embedder.encode_one(query.text)
-        sims = np.array([
-            float(np.dot(query_vec, self.embedder.encode_one(tool.description)))
-            for tool in candidates
-        ])
+        sims = self._query_tool_similarities(query, candidates)
         weights = np.exp((sims - sims.max()) / 0.08)
         weights /= weights.sum()
         return candidates[int(rng.choice(len(candidates), p=weights))]

@@ -1,4 +1,4 @@
-"""Shared low-level helpers: stable hashing, seeded RNG streams, text."""
+"""Shared low-level helpers: stable hashing, seeded RNG streams, text, vectors."""
 
 from repro.utils.hashing import stable_hash64, stable_hash_bytes
 from repro.utils.rng import RngFactory, derive_rng
@@ -7,11 +7,15 @@ from repro.utils.text import (
     sentence_case,
     truncate_words,
 )
+from repro.utils.vectorops import blend_and_normalize, normalize_rows, safe_norms
 
 __all__ = [
     "RngFactory",
+    "blend_and_normalize",
     "derive_rng",
+    "normalize_rows",
     "normalize_whitespace",
+    "safe_norms",
     "sentence_case",
     "stable_hash64",
     "stable_hash_bytes",

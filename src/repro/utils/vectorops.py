@@ -1,0 +1,46 @@
+"""Shared dense-vector helpers: zero-safe norms, row normalization, blending.
+
+Several layers (the sentence embedder, the retrieval pipeline, clustering
+distances, vector-index metrics) need the same "L2-normalize but leave
+all-zero rows untouched" guard.  Keeping one implementation here makes the
+semantics identical everywhere: a zero row has no direction, so it stays a
+zero row instead of becoming NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def safe_norms(matrix: np.ndarray, axis: int = 1, keepdims: bool = True) -> np.ndarray:
+    """Row (or column) L2 norms with zeros replaced by 1.0.
+
+    Dividing by the result never produces NaN/inf: all-zero rows keep a
+    nominal norm of 1.0 and therefore stay all-zero after division.
+    """
+    norms = np.linalg.norm(matrix, axis=axis, keepdims=keepdims)
+    norms[norms == 0.0] = 1.0
+    return norms
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` with unit-norm rows (zero rows preserved as zero)."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    return matrix / safe_norms(matrix)
+
+
+def blend_and_normalize(vectors: np.ndarray, context: np.ndarray,
+                        weight: float = 0.75) -> np.ndarray:
+    """Convex blend of each row with a shared context vector, re-normalized.
+
+    This is the paper Section III-B step where recommended tool
+    descriptions are embedded "alongside the corresponding user task": the
+    description keeps ``weight`` of the mass so it still dominates the
+    match, while the task context disambiguates multi-tool workflows.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight must be in [0, 1], got {weight}")
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+    context = np.asarray(context, dtype=float)
+    blended = weight * vectors + (1.0 - weight) * context[None, :]
+    return normalize_rows(blended)

@@ -49,6 +49,8 @@ class VectorIndex:
         self.metric = get_metric(self.metric)
         self._vectors = np.zeros((0, self.dim))
         self._ids = np.zeros(0, dtype=np.int64)
+        # hoisted 0..n-1 row ids, maintained on add (not per search call)
+        self._rows = np.zeros(0, dtype=np.intp)
 
     # ------------------------------------------------------------------
     # storage
@@ -78,6 +80,7 @@ class VectorIndex:
                 raise ValueError("duplicate ids are not allowed")
         self._vectors = np.vstack([self._vectors, vectors])
         self._ids = np.concatenate([self._ids, ids])
+        self._rows = np.arange(self._vectors.shape[0], dtype=np.intp)
         self._on_add(vectors, ids)
 
     def reconstruct(self, vector_id: int) -> np.ndarray:
@@ -106,6 +109,21 @@ class VectorIndex:
         """Convenience: top-``k`` neighbours of a single vector."""
         return self.search(np.atleast_2d(query), k)[0]
 
+    def search_arrays(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Batched top-k as ``(scores, ids)`` matrices of shape ``(q, k')``.
+
+        ``k'`` is ``k`` clamped to the index size.  Requires every query
+        to retrieve the same number of neighbours (always true for exact
+        indexes; an IVF probe may narrow some queries' candidate sets).
+        """
+        results = self.search(queries, k)
+        lengths = {len(result) for result in results}
+        if len(lengths) > 1:
+            raise ValueError("search_arrays requires uniform result lengths; "
+                             f"got {sorted(lengths)}")
+        return (np.stack([result.scores for result in results]),
+                np.stack([result.ids for result in results]))
+
     # hooks -------------------------------------------------------------
     def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
         """Subclass hook invoked after vectors are appended."""
@@ -113,11 +131,33 @@ class VectorIndex:
     def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
         raise NotImplementedError
 
-    # shared helper ------------------------------------------------------
+    # shared helpers -----------------------------------------------------
     def _rank(self, scores: np.ndarray, candidate_rows: np.ndarray, k: int) -> SearchResult:
-        """Order candidate rows by score under the index metric."""
-        order = np.argsort(scores)
-        if self.metric.higher_is_better:
-            order = order[::-1]
-        top = order[:k]
-        return SearchResult(scores=scores[top], ids=self._ids[candidate_rows[top]])
+        """Order candidate rows by score for one query."""
+        return self._rank_batch(scores[None, :], candidate_rows, k)[0]
+
+    def _rank_batch(self, score_matrix: np.ndarray, candidate_rows: np.ndarray,
+                    k: int) -> list[SearchResult]:
+        """Top-``k`` of every score row in one vectorized selection pass.
+
+        ``score_matrix`` is ``(q, c)`` over the shared ``candidate_rows``.
+        When ``k`` is a strict subset, an ``argpartition`` pass selects
+        the top block before only that block is sorted — O(c + k log k)
+        per query instead of O(c log c).
+        """
+        score_matrix = np.atleast_2d(score_matrix)
+        # argsort/argpartition pick minima; negate similarities so "best"
+        # is always the smallest key
+        keys = -score_matrix if self.metric.higher_is_better else score_matrix
+        n_candidates = score_matrix.shape[1]
+        if k < n_candidates:
+            block = np.argpartition(keys, k - 1, axis=1)[:, :k]
+            block_keys = np.take_along_axis(keys, block, axis=1)
+            order = np.argsort(block_keys, axis=1, kind="stable")
+            top = np.take_along_axis(block, order, axis=1)
+        else:
+            top = np.argsort(keys, axis=1, kind="stable")
+        top_scores = np.take_along_axis(score_matrix, top, axis=1)
+        top_ids = self._ids[candidate_rows[top]]
+        return [SearchResult(scores=top_scores[qi], ids=top_ids[qi])
+                for qi in range(score_matrix.shape[0])]

@@ -13,9 +13,12 @@ class FlatIndex(VectorIndex):
     This is the index used by the Less-is-More Tool Controller: tool
     pools are tiny (tens of tools), so exact search is both the fastest
     and the most faithful reproduction of the paper's FAISS usage.
+
+    Search is fully batched: one metric evaluation produces the whole
+    ``(q, n)`` score matrix and one vectorized selection pass ranks every
+    query — no per-query Python loop, no per-call ``np.arange``.
     """
 
     def _search_impl(self, queries: np.ndarray, k: int) -> list[SearchResult]:
-        all_rows = np.arange(len(self))
         score_matrix = self.metric.score(queries, self._vectors)
-        return [self._rank(score_matrix[i], all_rows, k) for i in range(queries.shape[0])]
+        return self._rank_batch(score_matrix, self._rows, k)

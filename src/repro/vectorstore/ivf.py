@@ -62,6 +62,8 @@ class IVFIndex(VectorIndex):
         self.nprobe = int(nprobe)
         self._centroids: np.ndarray | None = None
         self._assignments: np.ndarray | None = None
+        #: per-centroid member rows (sorted), rebuilt by :meth:`_reassign`
+        self._list_rows: list[np.ndarray] = []
 
     @property
     def is_trained(self) -> bool:
@@ -79,10 +81,13 @@ class IVFIndex(VectorIndex):
     def _reassign(self) -> None:
         if self._centroids is None or len(self) == 0:
             self._assignments = np.zeros(0, dtype=np.int64)
+            self._list_rows = []
             return
         l2 = get_metric("l2")
         dists = l2.score(self._vectors, self._centroids)
         self._assignments = np.argmin(dists, axis=1).astype(np.int64)
+        self._list_rows = [np.flatnonzero(self._assignments == cluster)
+                           for cluster in range(self._centroids.shape[0])]
 
     def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
         if self.is_trained:
@@ -95,12 +100,22 @@ class IVFIndex(VectorIndex):
         l2 = get_metric("l2")
         centroid_dists = l2.score(queries, self._centroids)
         nprobe = min(self.nprobe, self._centroids.shape[0])
-        results: list[SearchResult] = []
-        for qi in range(queries.shape[0]):
-            probe_lists = np.argsort(centroid_dists[qi])[:nprobe]
-            candidate_rows = np.nonzero(np.isin(self._assignments, probe_lists))[0]
+        # every query's probe set in one vectorized selection, then group
+        # queries sharing a candidate list so each group is scored and
+        # ranked with a single batched metric call
+        probe_lists = np.argsort(centroid_dists, axis=1, kind="stable")[:, :nprobe]
+        probe_sets, group_of = np.unique(np.sort(probe_lists, axis=1),
+                                         axis=0, return_inverse=True)
+        results: list[SearchResult | None] = [None] * queries.shape[0]
+        for group, probes in enumerate(probe_sets):
+            members = np.flatnonzero(group_of == group)
+            candidate_rows = np.sort(np.concatenate(
+                [self._list_rows[int(cluster)] for cluster in probes]))
             if candidate_rows.size == 0:
-                candidate_rows = np.arange(len(self))
-            scores = self.metric.score(queries[qi : qi + 1], self._vectors[candidate_rows])[0]
-            results.append(self._rank(scores, candidate_rows, min(k, candidate_rows.size)))
+                candidate_rows = self._rows
+            scores = self.metric.score(queries[members], self._vectors[candidate_rows])
+            ranked = self._rank_batch(scores, candidate_rows,
+                                      min(k, candidate_rows.size))
+            for qi, result in zip(members, ranked):
+                results[qi] = result
         return results

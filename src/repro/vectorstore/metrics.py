@@ -7,6 +7,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.utils.vectorops import normalize_rows
+
 
 @dataclass(frozen=True)
 class Metric:
@@ -33,11 +35,7 @@ def _inner_product(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
 
 
 def _cosine(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
-    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
-    vector_norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-    query_norms[query_norms == 0.0] = 1.0
-    vector_norms[vector_norms == 0.0] = 1.0
-    return (queries / query_norms) @ (vectors / vector_norms).T
+    return normalize_rows(queries) @ normalize_rows(vectors).T
 
 
 def _squared_l2(queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:

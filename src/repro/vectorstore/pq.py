@@ -41,6 +41,7 @@ class PQIndex(VectorIndex):
         self.sub_dim = dim // m
         self._codebooks: np.ndarray | None = None  # (m, n_centroids, sub_dim)
         self._codes: np.ndarray | None = None      # (n, m) uint8
+        self._code_columns: np.ndarray | None = None  # (1, m, n) intp
 
     # ------------------------------------------------------------------
     # training / encoding
@@ -73,6 +74,8 @@ class PQIndex(VectorIndex):
             dists = self._block_dists(block, self._codebooks[sub])
             codes[:, sub] = np.argmin(dists, axis=1)
         self._codes = codes
+        # (1, m, n) gather indices reused by every batched search
+        self._code_columns = codes.T.astype(np.intp)[None, :, :]
 
     @staticmethod
     def _block_dists(block: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -91,20 +94,17 @@ class PQIndex(VectorIndex):
         if not self.is_trained:
             self.train()
         assert self._codebooks is not None and self._codes is not None
-        all_rows = np.arange(len(self))
-        results = []
-        for qi in range(queries.shape[0]):
-            # asymmetric distance: query stays exact, database is coded
-            lut = np.stack([
-                self._block_dists(
-                    queries[qi, sub * self.sub_dim:(sub + 1) * self.sub_dim][None, :],
-                    self._codebooks[sub],
-                )[0]
-                for sub in range(self.m)
-            ])  # (m, n_centroids)
-            dists = lut[np.arange(self.m)[None, :], self._codes].sum(axis=1)
-            results.append(self._rank(dists, all_rows, k))
-        return results
+        # asymmetric distance: queries stay exact, database is coded.
+        # One LUT per sub-space covers the whole query batch, and one
+        # gather+sum scores every (query, vector) pair — the only Python
+        # loop is over the m sub-spaces, never over queries.
+        sub_queries = queries.reshape(queries.shape[0], self.m, self.sub_dim)
+        luts = np.stack([
+            self._block_dists(sub_queries[:, sub, :], self._codebooks[sub])
+            for sub in range(self.m)
+        ], axis=1)  # (q, m, n_centroids)
+        dists = np.take_along_axis(luts, self._code_columns, axis=2).sum(axis=1)
+        return self._rank_batch(dists, self._rows, k)
 
     # ------------------------------------------------------------------
     # memory accounting

@@ -66,6 +66,24 @@ class TestArbitration:
         assert decision.level1_score > 0.3
         assert decision.level2_score >= 0.0
 
+    def test_empty_cluster_index_never_wins_arbitration(self, embedder, bfcl_levels):
+        """A negative Level-1 mean must not lose to an empty Level 2."""
+        from dataclasses import replace
+
+        from repro.vectorstore import FlatIndex
+
+        no_clusters = replace(bfcl_levels, clusters=[],
+                              cluster_index=FlatIndex(dim=768, metric="cosine"))
+        # a vector anti-correlated with the corpus: confident top-1 but
+        # negative mean top-k
+        anchor = embedder.encode_one(
+            "Get the current weather conditions and temperature for a city.")
+        controller = ToolController(no_clusters, k=len(no_clusters.all_tools),
+                                    confidence_threshold=-2.0)
+        decision = controller.decide(-anchor[None, :])
+        assert decision.level in (1, 3)
+        assert decision.n_tools > 0
+
 
 class TestConfiguration:
     def test_invalid_k(self, bfcl_levels):

@@ -1,0 +1,61 @@
+"""Parallel run_grid must reproduce the sequential results exactly."""
+
+import pytest
+
+from repro.embedding.cache import CachedEmbedder
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites import load_suite
+
+SCHEMES = ["default", "lis-k3"]
+MODELS = ["hermes2-pro-8b"]
+QUANTS = ["q4_K_M", "q8_0"]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite("edgehome", n_queries=8)
+
+
+def run_grid(suite, max_workers):
+    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    return runner.run_grid(SCHEMES, MODELS, QUANTS, max_workers=max_workers)
+
+
+def summary_fingerprint(run):
+    summary = run.summary
+    return (
+        summary.n_episodes,
+        summary.success_rate,
+        summary.tool_accuracy,
+        summary.mean_tools_presented,
+        summary.mean_time_s,
+        summary.mean_energy_j,
+    )
+
+
+def test_parallel_matches_sequential(suite):
+    sequential = run_grid(suite, max_workers=1)
+    parallel = run_grid(suite, max_workers=4)
+    assert set(sequential) == set(parallel)
+    for key, run in sequential.items():
+        assert summary_fingerprint(parallel[key]) == summary_fingerprint(run), key
+        seq_steps = [(e.qid, [s.tool_called for s in e.steps]) for e in run.episodes]
+        par_steps = [(e.qid, [s.tool_called for s in e.steps])
+                     for e in parallel[key].episodes]
+        assert seq_steps == par_steps
+
+
+def test_grid_covers_all_cells(suite):
+    results = run_grid(suite, max_workers=2)
+    assert len(results) == len(SCHEMES) * len(MODELS) * len(QUANTS)
+    for (scheme, model, quant), run in results.items():
+        assert run.scheme == scheme
+        assert run.model == model
+        assert run.quant == quant
+        assert len(run.episodes) == 8
+
+
+def test_default_worker_count_runs(suite):
+    results = ExperimentRunner(suite, embedder=CachedEmbedder()).run_grid(
+        ["lis-k3"], MODELS, ["q4_K_M"])
+    assert len(results) == 1

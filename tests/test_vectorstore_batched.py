@@ -1,0 +1,126 @@
+"""Batched-vs-per-query search equivalence across all index types."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore import FlatIndex, IVFIndex, PQIndex
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return derive_rng("test-batched-store").standard_normal((60, 16))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return derive_rng("test-batched-queries").standard_normal((17, 16))
+
+
+def build_flat_cosine(vectors):
+    index = FlatIndex(dim=16, metric="cosine")
+    index.add(vectors)
+    return index
+
+
+def build_flat_l2(vectors):
+    index = FlatIndex(dim=16, metric="l2")
+    index.add(vectors)
+    return index
+
+
+def build_ivf(vectors):
+    index = IVFIndex(dim=16, metric="cosine", n_lists=5, nprobe=2)
+    index.add(vectors)
+    index.train()
+    return index
+
+
+def build_pq(vectors):
+    index = PQIndex(dim=16, m=4, n_centroids=16)
+    index.add(vectors)
+    index.train()
+    return index
+
+
+BUILDERS = [build_flat_cosine, build_flat_l2, build_ivf, build_pq]
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+@pytest.mark.parametrize("k", [1, 3, 60, 100])
+def test_batched_equals_per_query(builder, k, vectors, queries):
+    index = builder(vectors)
+    batched = index.search(queries, k)
+    for qi, query in enumerate(queries):
+        single = index.search_one(query, k)
+        np.testing.assert_array_equal(batched[qi].ids, single.ids)
+        # BLAS blocks matmuls differently per batch shape, so raw scores
+        # agree to float precision rather than bitwise
+        np.testing.assert_allclose(batched[qi].scores, single.scores,
+                                   rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+def test_batched_scores_sorted_best_first(builder, vectors, queries):
+    index = builder(vectors)
+    for result in index.search(queries, 7):
+        ordered = sorted(result.scores, reverse=index.metric.higher_is_better)
+        assert list(result.scores) == ordered
+
+
+def test_flat_batched_matches_bruteforce(vectors, queries):
+    index = build_flat_cosine(vectors)
+    results = index.search(queries, 5)
+    scores = index.metric.score(queries, vectors)
+    for qi, result in enumerate(results):
+        expected_rows = np.argsort(-scores[qi], kind="stable")[:5]
+        np.testing.assert_array_equal(result.ids, expected_rows)
+        np.testing.assert_allclose(result.scores, scores[qi][expected_rows])
+
+
+def test_ivf_batched_matches_per_query_reference(vectors, queries):
+    """The grouped IVF probe must reproduce the naive per-query algorithm."""
+    index = build_ivf(vectors)
+    results = index.search(queries, 4)
+    centroids = index._centroids
+    assignments = index._assignments
+    centroid_dists = ((queries[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    for qi, result in enumerate(results):
+        probe = np.argsort(centroid_dists[qi], kind="stable")[: index.nprobe]
+        candidate_rows = np.flatnonzero(np.isin(assignments, probe))
+        scores = index.metric.score(queries[qi:qi + 1], vectors[candidate_rows])[0]
+        order = np.argsort(-scores, kind="stable")[:4]
+        np.testing.assert_allclose(np.sort(result.scores)[::-1],
+                                   np.sort(scores[order])[::-1])
+        assert set(result.ids.tolist()) <= set(candidate_rows.tolist())
+
+
+def test_search_arrays_shapes(vectors, queries):
+    index = build_flat_cosine(vectors)
+    scores, ids = index.search_arrays(queries, 6)
+    assert scores.shape == (17, 6)
+    assert ids.shape == (17, 6)
+    results = index.search(queries, 6)
+    np.testing.assert_array_equal(scores, np.stack([r.scores for r in results]))
+    np.testing.assert_array_equal(ids, np.stack([r.ids for r in results]))
+
+
+def test_search_arrays_clamps_k(vectors):
+    index = build_flat_cosine(vectors)
+    scores, ids = index.search_arrays(np.ones((2, 16)), 999)
+    assert scores.shape == (2, 60)
+
+
+def test_pq_add_after_train_refreshes_batched_state(vectors):
+    index = build_pq(vectors)
+    extra = np.full((1, 16), 50.0)
+    index.add(extra, ids=[999])
+    result = index.search_one(extra[0], k=1)
+    assert result.top()[1] == 999
+
+
+def test_rows_hoisted_and_maintained(vectors):
+    index = build_flat_cosine(vectors)
+    np.testing.assert_array_equal(index._rows, np.arange(60))
+    index.add(np.ones((2, 16)))
+    np.testing.assert_array_equal(index._rows, np.arange(62))
