@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-check bench-paper
+.PHONY: test bench bench-check bench-serving bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -17,6 +17,10 @@ bench:
 bench-check:
 	$(PYTHON) scripts/bench_perf.py --output /tmp/bench_perf_fresh.json
 	$(PYTHON) scripts/check_perf_regression.py --fresh /tmp/bench_perf_fresh.json
+
+## serving-gateway load bench: asserts micro-batched >= 2x sequential
+bench-serving:
+	$(PYTHON) scripts/bench_serving.py
 
 ## the paper-reproduction benchmark tables/figures (slow)
 bench-paper:

@@ -1,0 +1,63 @@
+"""Serving demo: a multi-tenant gateway micro-batching concurrent traffic.
+
+Boots the async serving gateway with two tenants (the smart-home catalog
+and the BFCL-like pool), fires a burst of concurrent requests from both,
+and prints each response alongside the gateway's telemetry — batch-size
+histogram, queue depth and latency percentiles.  Requests that arrive
+together ride the same micro-batch: their embeddings and Level-1/Level-2
+retrievals are computed by single vectorized kernel calls, yet every
+episode is identical to running that query alone.
+
+Run:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving import Gateway, ServingConfig, SessionManager
+from repro.suites import load_suite
+
+
+async def main() -> None:
+    sessions = SessionManager()
+    home = sessions.register("smart-home", load_suite("edgehome", n_queries=12))
+    bfcl = sessions.register("assistant", load_suite("bfcl", n_queries=12))
+    config = ServingConfig(max_batch_size=8, max_wait_ms=5.0, queue_capacity=64)
+
+    async with Gateway(sessions, config=config) as gateway:
+        # a burst of concurrent traffic from both tenants
+        requests = [("smart-home", query) for query in home.suite.queries[:8]]
+        requests += [("assistant", query) for query in bfcl.suite.queries[:8]]
+        responses = await asyncio.gather(*(
+            gateway.submit(tenant, query) for tenant, query in requests
+        ))
+
+        header = (f"{'tenant':<12} {'qid':<16} {'ok':<3} {'level':<5} "
+                  f"{'batch':>5} {'queued':>8} {'latency':>9}")
+        print(header)
+        print("-" * len(header))
+        for response in responses:
+            episode = response.episode
+            level = episode.selected_level if episode.selected_level else "-"
+            print(f"{response.tenant:<12} {episode.qid:<16} "
+                  f"{'yes' if episode.success else 'no':<3} {str(level):<5} "
+                  f"{response.batch_size:>5} "
+                  f"{response.queued_s * 1e3:>6.1f}ms "
+                  f"{response.latency_s * 1e3:>7.1f}ms")
+
+        metrics = gateway.metrics()
+        print(f"\nserved {metrics['requests_completed']} requests in "
+              f"{metrics['n_batches']} micro-batches "
+              f"(mean batch {metrics['mean_batch_size']:.1f}, "
+              f"histogram {metrics['batch_size_histogram']})")
+        print(f"latency p50/p95/p99: {metrics['latency_p50_ms']:.1f} / "
+              f"{metrics['latency_p95_ms']:.1f} / "
+              f"{metrics['latency_p99_ms']:.1f} ms")
+        print("\nEvery episode above is bitwise identical to running the same "
+              "query through the sequential ExperimentRunner — micro-batching "
+              "is a pure throughput transform.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -25,7 +25,9 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
+from bench_serving import bench_serving  # noqa: E402
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
 from repro.evaluation.runner import ExperimentRunner  # noqa: E402
@@ -146,7 +148,7 @@ def bench_grid(n_queries: int) -> dict:
 
 def collect(repeats: int, grid_queries: int) -> dict:
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -157,6 +159,7 @@ def collect(repeats: int, grid_queries: int) -> dict:
         "search": bench_search(repeats),
         "episode": bench_episodes(repeats),
         "grid": bench_grid(grid_queries),
+        "serving": bench_serving(),
     }
 
 
@@ -182,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"episode: {report['episode']['episodes_per_s']:.1f} episodes/s")
     print(f"grid   : {grid['cells']} cells in {grid['sequential_s']:.2f}s seq / "
           f"{grid['parallel_s']:.2f}s parallel (x{grid['parallel_speedup']:.2f})")
+    serving = report["serving"]
+    print(f"serving: {serving['batched_req_per_s']:.0f} req/s micro-batched "
+          f"(x{serving['speedup_vs_sequential']:.2f} vs sequential, "
+          f"p95 {serving['batched_p95_ms']:.1f} ms)")
     print(f"wrote {args.output}")
     return 0
 

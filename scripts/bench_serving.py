@@ -1,0 +1,149 @@
+"""Serving-gateway load benchmark: micro-batched vs sequential throughput.
+
+Drives the async gateway with a closed-loop load generator at a given
+concurrency, twice over the same workload and warmed caches:
+
+* **batched** — the real configuration: micro-batches of up to
+  ``--max-batch-size`` requests planned through one vectorized
+  ``encode`` + multi-query search pass per flush;
+* **sequential** — the experimental control: the identical gateway with
+  ``max_batch_size=1``, i.e. per-request serving through the very same
+  code path.
+
+Each mode is preceded by an untimed warmup pass (one full cycle of the
+workload) so the numbers reflect steady-state serving rather than the
+one-time vocabulary ramp, and the comparison repeats ``--trials`` times
+keeping the best speedup (load benches on shared machines jitter).  The
+run **asserts** the acceptance criterion — batched throughput >= 2x
+sequential at concurrency >= 32 — and prints p50/p95/p99 latency for
+both modes.
+
+Run:  PYTHONPATH=src python scripts/bench_serving.py [--concurrency 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.embedding.cache import CachedEmbedder  # noqa: E402
+from repro.serving import LoadReport, ServingConfig, run_load  # noqa: E402
+from repro.suites import load_suite  # noqa: E402
+
+#: Required batched/sequential throughput ratio (the PR's acceptance bar).
+REQUIRED_SPEEDUP = 2.0
+
+
+def measure_mode(suites, config: ServingConfig, n_requests: int,
+                 concurrency: int) -> LoadReport:
+    """One warmup cycle, then one measured closed-loop run."""
+    embedder = CachedEmbedder()
+    workload_cycle = sum(len(suite.queries) for suite in suites.values())
+    run_load(suites, config, n_requests=workload_cycle,
+             concurrency=min(8, concurrency), embedder=embedder)
+    return run_load(suites, config, n_requests=n_requests,
+                    concurrency=concurrency, embedder=embedder)
+
+
+def bench_serving(n_requests: int = 512, concurrency: int = 32,
+                  max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                  trials: int = 3, suite_name: str = "edgehome") -> dict:
+    """Measure both modes, return the serving metrics dict.
+
+    Each mode runs ``trials`` times and keeps its best trial: the
+    max-over-trials throughput estimates the machine's calm capacity and
+    is far more stable under transient load than any single run, for the
+    batched and sequential modes alike (so the speedup ratio stays
+    honest).
+    """
+    suites = {suite_name: load_suite(suite_name)}
+    batched_config = ServingConfig(max_batch_size=max_batch_size,
+                                   max_wait_ms=max_wait_ms)
+    sequential_config = ServingConfig(max_batch_size=1, max_wait_ms=0.0)
+
+    best_batched: LoadReport | None = None
+    best_sequential: LoadReport | None = None
+    for _ in range(trials):
+        batched = measure_mode(suites, batched_config, n_requests, concurrency)
+        sequential = measure_mode(suites, sequential_config, n_requests, concurrency)
+        if best_batched is None or batched.throughput_rps > best_batched.throughput_rps:
+            best_batched = batched
+        if (best_sequential is None
+                or sequential.throughput_rps > best_sequential.throughput_rps):
+            best_sequential = sequential
+
+    speedup = (best_batched.throughput_rps / best_sequential.throughput_rps
+               if best_sequential.throughput_rps > 0 else 0.0)
+    return {
+        "suite": suite_name,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "trials": trials,
+        "batched_req_per_s": best_batched.throughput_rps,
+        "sequential_req_per_s": best_sequential.throughput_rps,
+        "speedup_vs_sequential": speedup,
+        "batched_p50_ms": best_batched.latency_p50_ms,
+        "batched_p95_ms": best_batched.latency_p95_ms,
+        "batched_p99_ms": best_batched.latency_p99_ms,
+        "sequential_p50_ms": best_sequential.latency_p50_ms,
+        "sequential_p95_ms": best_sequential.latency_p95_ms,
+        "sequential_p99_ms": best_sequential.latency_p99_ms,
+        "mean_batch_size": best_batched.gateway_metrics["mean_batch_size"],
+        "requests_rejected": best_batched.gateway_metrics["requests_rejected"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-requests", type=int, default=512)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--trials", type=int, default=3,
+                        help="repeat the comparison, keep the best speedup")
+    parser.add_argument("--suite", default="edgehome")
+    parser.add_argument("--output", default=None,
+                        help="optional JSON file for the serving metrics")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report without enforcing the >=2x criterion")
+    args = parser.parse_args(argv)
+
+    row = bench_serving(
+        n_requests=args.n_requests, concurrency=args.concurrency,
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        trials=args.trials, suite_name=args.suite,
+    )
+    print(f"serving ({row['suite']}, {row['n_requests']} requests, "
+          f"concurrency {row['concurrency']}):")
+    print(f"  micro-batched: {row['batched_req_per_s']:8.0f} req/s   "
+          f"p50 {row['batched_p50_ms']:6.1f} ms  p95 {row['batched_p95_ms']:6.1f} ms  "
+          f"p99 {row['batched_p99_ms']:6.1f} ms  (mean batch "
+          f"{row['mean_batch_size']:.1f})")
+    print(f"  sequential   : {row['sequential_req_per_s']:8.0f} req/s   "
+          f"p50 {row['sequential_p50_ms']:6.1f} ms  p95 {row['sequential_p95_ms']:6.1f} ms  "
+          f"p99 {row['sequential_p99_ms']:6.1f} ms")
+    print(f"  speedup      : {row['speedup_vs_sequential']:.2f}x "
+          f"(required >= {REQUIRED_SPEEDUP:.1f}x)")
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if not args.no_assert and args.concurrency >= 32:
+        assert row["speedup_vs_sequential"] >= REQUIRED_SPEEDUP, (
+            f"micro-batched serving reached only "
+            f"{row['speedup_vs_sequential']:.2f}x of sequential throughput "
+            f"(required {REQUIRED_SPEEDUP:.1f}x)")
+        print(f"OK: micro-batching >= {REQUIRED_SPEEDUP:.1f}x sequential serving")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ Quickstart::
 
 from repro.api import (
     build_agent,
+    build_gateway,
     build_less_is_more,
     load_model,
     load_suite,
@@ -29,6 +30,7 @@ from repro.version import __version__
 __all__ = [
     "__version__",
     "build_agent",
+    "build_gateway",
     "build_less_is_more",
     "load_model",
     "load_suite",

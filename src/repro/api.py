@@ -43,3 +43,17 @@ def build_agent(scheme: str, model: str, quant: str, suite, **kwargs):
     if scheme == "lis":
         return LessIsMoreAgent.build(model=model, quant=quant, suite=suite, **kwargs)
     return build_baseline(scheme, model=model, quant=quant, suite=suite, **kwargs)
+
+
+def build_gateway(suites: dict, config=None):
+    """Wire a serving gateway over ``{tenant_name: suite}`` catalogs.
+
+    Returns an unstarted :class:`~repro.serving.Gateway`; drive it with
+    ``async with build_gateway({"home": suite}) as gw: await gw.submit(...)``.
+    """
+    from repro.serving import Gateway, SessionManager
+
+    sessions = SessionManager()
+    for tenant, suite in suites.items():
+        sessions.register(tenant, suite)
+    return Gateway(sessions, config=config)

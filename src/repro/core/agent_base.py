@@ -75,6 +75,17 @@ class FunctionCallingAgent:
         """Choose the tool subset and window for ``query``."""
         raise NotImplementedError
 
+    def plan_batch(self, queries: list[Query]) -> list[ToolPlan]:
+        """Plan many queries at once.
+
+        The base implementation simply loops; agents whose planning is
+        dominated by vectorizable work (embedding + retrieval) override
+        this to coalesce the batch into single kernel calls.  Plans must
+        be identical to per-query :meth:`plan` output — the serving
+        gateway's equivalence guarantee rests on it.
+        """
+        return [self.plan(query) for query in queries]
+
     def tools_for_step(self, query: Query, step_index: int,
                        current_tools: list[ToolSpec],
                        called_tools: list[str]) -> tuple[list[ToolSpec], float]:
@@ -90,7 +101,17 @@ class FunctionCallingAgent:
     # ------------------------------------------------------------------
     def run(self, query: Query) -> EpisodeResult:
         """Execute one full episode and measure it on the device model."""
-        plan = self.plan(query)
+        return self.run_planned(query, self.plan(query))
+
+    def run_planned(self, query: Query, plan: ToolPlan) -> EpisodeResult:
+        """Execute one episode from an already-computed plan.
+
+        Split from :meth:`run` so a serving layer can plan a whole
+        micro-batch in one vectorized pass and then execute each episode
+        individually.  The method touches no agent-level mutable state,
+        so one agent instance can execute episodes concurrently as long
+        as its executor/embedder are thread-safe (they are by default).
+        """
         session = MeasurementSession(device=self.device)
         session.add_overhead(plan.overhead_s)
 

@@ -78,26 +78,69 @@ class ToolController:
         Both levels are searched with one multi-query call per index; the
         score aggregates are computed on the stacked ``(q, k)`` matrices.
         """
-        vectors = np.atleast_2d(np.asarray(recommendation_vectors, dtype=float))
-        if vectors.shape[0] == 0 or len(self.levels.tool_index) == 0:
-            return self._level3(0.0, 0.0)
+        return self.decide_batch([recommendation_vectors])[0]
 
-        level1_scores, level1_ids = self.levels.tool_index.search_arrays(vectors, self.k)
+    def decide_batch(self, vector_blocks: list[np.ndarray]) -> list[ControllerDecision]:
+        """Arbitrate many requests' recommendation blocks in one search pass.
+
+        ``vector_blocks`` holds one ``(n_i, dim)`` embedding matrix per
+        request.  All blocks are stacked into a single multi-query search
+        per index and the arbitration runs on each request's score slice.
+        The scoring kernels are batch-invariant (see
+        :mod:`repro.vectorstore.metrics`), so every decision is bitwise
+        identical to calling :meth:`decide` on that block alone — the
+        contract the serving gateway's micro-batcher relies on.
+        """
+        blocks = [np.atleast_2d(np.asarray(block, dtype=float))
+                  for block in vector_blocks]
+        searchable = [i for i, block in enumerate(blocks) if block.shape[0] > 0]
+        decisions: list[ControllerDecision | None] = [None] * len(blocks)
+        if len(self.levels.tool_index) == 0 or not searchable:
+            return [self._level3(0.0, 0.0) for _ in blocks]
+        for i, block in enumerate(blocks):
+            if block.shape[0] == 0:
+                decisions[i] = self._level3(0.0, 0.0)
+
+        stacked = (blocks[searchable[0]] if len(searchable) == 1
+                   else np.vstack([blocks[i] for i in searchable]))
+        level1_scores, level1_ids = self.levels.tool_index.search_arrays(stacked, self.k)
+        has_level2 = len(self.levels.cluster_index) > 0
+        if has_level2:
+            level2_scores, level2_ids = self.levels.cluster_index.search_arrays(
+                stacked, self.k)
+
+        row = 0
+        for i in searchable:
+            n_rows = blocks[i].shape[0]
+            rows = slice(row, row + n_rows)
+            row += n_rows
+            decisions[i] = self._arbitrate(
+                n_rows,
+                level1_scores[rows], level1_ids[rows],
+                level2_scores[rows] if has_level2 else None,
+                level2_ids[rows] if has_level2 else None,
+            )
+        return decisions
+
+    def _arbitrate(
+        self,
+        n_vectors: int,
+        level1_scores: np.ndarray,
+        level1_ids: np.ndarray,
+        level2_scores: np.ndarray | None,
+        level2_ids: np.ndarray | None,
+    ) -> ControllerDecision:
+        """The paper's level arbitration over one request's top-k scores."""
         level1_score = float(level1_scores.mean())
         level1_top1 = float(level1_scores[:, 0].max())
 
-        if len(self.levels.cluster_index) > 0:
-            level2_scores, level2_ids = self.levels.cluster_index.search_arrays(
-                vectors, self.k)
+        has_level2 = level2_scores is not None
+        if has_level2:
             level2_score = float(level2_scores.mean())
             level2_top1 = float(level2_scores[:, 0].max())
-            has_level2 = True
         else:
-            level2_scores = np.zeros((0, 0))
-            level2_ids = np.zeros((0, 0), dtype=np.int64)
             level2_score = 0.0
             level2_top1 = 0.0
-            has_level2 = False
 
         if self.force_level == 3:
             return self._level3(level1_score, level2_score)
@@ -109,7 +152,7 @@ class ToolController:
                 and max(level1_top1, level2_top1) < self.confidence_threshold):
             return self._level3(level1_score, level2_score)
 
-        multi_need = vectors.shape[0] >= 2
+        multi_need = n_vectors >= 2
         # has_level2 guards both disjuncts: an empty cluster index must
         # never win arbitration (its 0.0 score can exceed a negative
         # Level-1 mean, which would present an empty tool set)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.agent_base import (
     DEFAULT_CONTEXT_WINDOW,
     EMBEDDING_OVERHEAD_S,
@@ -83,25 +85,70 @@ class LessIsMoreAgent(FunctionCallingAgent):
         return cls(llm=llm, suite=suite, levels=levels, k=k, **kwargs)
 
     def plan(self, query: Query) -> ToolPlan:
-        recommendation = self.llm.recommend_tools(
-            query, self.suite.registry, corpus_descriptions=self._corpus,
-        )
+        return self.plan_batch([query])[0]
+
+    def plan_batch(self, queries: list[Query]) -> list[ToolPlan]:
+        """Plan a micro-batch of queries through shared vectorized kernels.
+
+        All queries' recommender descriptions are embedded in one cache
+        pass, and every request's Level-1/Level-2 retrieval rides in one
+        stacked multi-query search per index
+        (:meth:`~repro.core.controller.ToolController.decide_batch`).
+        Because both the embedder and the scoring kernels are
+        batch-invariant, the returned plans are identical to per-query
+        :meth:`plan` calls — this is the hot path the serving gateway's
+        micro-batch scheduler amortizes across concurrent requests.
+        """
+        if not queries:
+            return []
+        recommendations = [
+            self.llm.recommend_tools(
+                query, self.suite.registry, corpus_descriptions=self._corpus)
+            for query in queries
+        ]
         # paper Section III-B: the recommended descriptions are embedded
         # "alongside the corresponding user task" — realised as a convex
         # blend so the description still dominates the match while the
-        # task context disambiguates multi-tool workflows.  Query and
-        # descriptions go through the cache in one batched encode.
-        embedded = self.embedder.encode([query.text, *recommendation.descriptions])
-        vectors = blend_and_normalize(embedded[1:], embedded[0], weight=0.75)
-        decision = self.controller.decide(vectors)
-        window = (self.context_window if decision.level in (1, 2)
-                  else DEFAULT_CONTEXT_WINDOW)
-        overhead = (EMBEDDING_OVERHEAD_S * len(recommendation.descriptions)
-                    + 2 * KNN_OVERHEAD_S)
-        return ToolPlan(
-            tools=self.suite.registry.subset(decision.tools),
-            context_window=window,
-            level=decision.level,
-            overhead_s=overhead,
-            pre_usages=[recommendation.usage],
+        # task context disambiguates multi-tool workflows.  Every query's
+        # text and descriptions go through the cache in one batched encode.
+        texts: list[str] = []
+        spans: list[tuple[int, int]] = []
+        for query, recommendation in zip(queries, recommendations):
+            start = len(texts)
+            texts.append(query.text)
+            texts.extend(recommendation.descriptions)
+            spans.append((start, len(texts)))
+        embedded = self.embedder.encode(texts)
+        # one blend pass over every request's description rows: the ops
+        # are all row-wise, so the result is bitwise equal to blending
+        # each request's block separately
+        description_rows = np.concatenate(
+            [np.arange(start + 1, end) for start, end in spans])
+        context_rows = np.concatenate(
+            [np.full(end - start - 1, start, dtype=np.intp) for start, end in spans])
+        blended = blend_and_normalize(
+            embedded[description_rows], embedded[context_rows], weight=0.75,
+            rowwise_context=True,
         )
+        blocks = []
+        offset = 0
+        for start, end in spans:
+            n_rows = end - start - 1
+            blocks.append(blended[offset:offset + n_rows])
+            offset += n_rows
+        decisions = self.controller.decide_batch(blocks)
+
+        plans: list[ToolPlan] = []
+        for recommendation, decision in zip(recommendations, decisions):
+            window = (self.context_window if decision.level in (1, 2)
+                      else DEFAULT_CONTEXT_WINDOW)
+            overhead = (EMBEDDING_OVERHEAD_S * len(recommendation.descriptions)
+                        + 2 * KNN_OVERHEAD_S)
+            plans.append(ToolPlan(
+                tools=self.suite.registry.subset(decision.tools),
+                context_window=window,
+                level=decision.level,
+                overhead_s=overhead,
+                pre_usages=[recommendation.usage],
+            ))
+        return plans

@@ -45,6 +45,12 @@ class CachedEmbedder:
         self.max_entries = max_entries
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
+        # serializes underlying-embedder compute against reseed(): a
+        # projection swap mid-encode would otherwise tear vectors (rows
+        # summed from two different direction banks) or let a vector
+        # computed under the old projection land in the new-generation
+        # cache
+        self._compute_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -64,40 +70,52 @@ class CachedEmbedder:
             vec = self._lookup(text)
         if vec is not None:
             return vec
-        vec = self.embedder.encode_one(text)
-        with self._lock:
-            return self._store(text, vec)
+        return self.encode([text])[0]
 
     def encode(self, texts: list[str] | tuple[str, ...]) -> np.ndarray:
         """Embed a batch through the cache.
 
         Cache hits are collected in a single partitioning pass; the
-        unique misses are embedded with one batched call.
+        unique misses are embedded with one batched call under
+        ``_compute_lock``, so a concurrent :meth:`reseed` cannot swap the
+        projection mid-batch (torn vectors).  Both phases are pinned to
+        one projection generation: if a reseed lands anywhere between
+        the hit lookup and the store, the whole partition is discarded
+        and redone, so the returned matrix never mixes vectors from two
+        projections and nothing stale is stored into the fresh cache.
         """
         if isinstance(texts, str):
             raise TypeError("encode() expects a sequence of strings")
         texts = list(texts)
         if not texts:
             return np.zeros((0, self.dim))
-        out: list[np.ndarray | None] = [None] * len(texts)
-        miss_positions: dict[str, list[int]] = {}
-        with self._lock:
-            self._check_generation()
-            for i, text in enumerate(texts):
-                vec = self._lookup(text)
-                if vec is None:
-                    miss_positions.setdefault(text, []).append(i)
-                else:
-                    out[i] = vec
-        if miss_positions:
-            unique_misses = list(miss_positions)
-            fresh = self.embedder.encode(unique_misses)
+        while True:
+            out: list[np.ndarray | None] = [None] * len(texts)
+            miss_positions: dict[str, list[int]] = {}
             with self._lock:
+                self._check_generation()
+                generation = self._generation
+                for i, text in enumerate(texts):
+                    vec = self._lookup(text)
+                    if vec is None:
+                        miss_positions.setdefault(text, []).append(i)
+                    else:
+                        out[i] = vec
+            if not miss_positions:
+                return np.stack(out)
+            unique_misses = list(miss_positions)
+            with self._compute_lock:
+                compute_generation = getattr(self.embedder, "projection_generation", 0)
+                fresh = self.embedder.encode(unique_misses)
+            with self._lock:
+                self._check_generation()
+                if not (self._generation == generation == compute_generation):
+                    continue  # reseed() raced the lookup/compute; redo everything
                 for text, vec in zip(unique_misses, fresh):
                     stored = self._store(text, vec)
                     for i in miss_positions[text]:
                         out[i] = stored
-        return np.stack(out)
+            return np.stack(out)
 
     # ------------------------------------------------------------------
     # cache introspection / management
@@ -119,6 +137,20 @@ class CachedEmbedder:
         """Drop every cached vector (counters are kept)."""
         with self._lock:
             self._cache.clear()
+
+    def reseed(self, seed_namespace: str) -> None:
+        """Re-roll the underlying projection, coherently with the cache.
+
+        Calling ``embedder.reseed`` directly still works (the generation
+        check invalidates the cache lazily), but going through this
+        method additionally excludes in-flight encode computes, so
+        concurrent callers can never observe a vector torn across two
+        projections.
+        """
+        with self._compute_lock:
+            self.embedder.reseed(seed_namespace)
+        with self._lock:
+            self._check_generation()
 
     # ------------------------------------------------------------------
     # internals (callers hold the lock)
@@ -151,6 +183,10 @@ class CachedEmbedder:
             # another thread computed the same text first; keep its copy
             # so every caller observes one canonical vector per text
             return kept
+        # own the storage: a row view of the batch result would keep the
+        # whole (n, dim) base array alive, defeating the LRU memory bound
+        if vec.base is not None:
+            vec = vec.copy()
         self._cache[text] = vec
         if self.max_entries is not None and len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.tools.schema import ToolSpec
 
@@ -25,12 +26,15 @@ def estimate_tokens(text: str) -> int:
     return int(math.ceil(len(text) / CHARS_PER_TOKEN))
 
 
+@lru_cache(maxsize=4096)
 def tool_prompt_tokens(tool: ToolSpec) -> int:
     """Prompt cost of appending one tool's JSON schema.
 
     Real chat templates pretty-print tool JSON with indentation and add
     per-tool role glue; the +48 overhead makes the 51-tool BFCL pool
-    genuinely require a 16K window, as the paper's setup does.
+    genuinely require a 16K window, as the paper's setup does.  Cached
+    per spec (specs are frozen): prompt layout recomputes this for every
+    presented tool on every turn.
     """
     return estimate_tokens(tool.json_text()) + 48
 
@@ -65,7 +69,25 @@ def plan_agent_prompt(
     step_index: int = 0,
     generation_reserve: int = 1024,
 ) -> PromptPlan:
-    """Lay out an agent prompt, truncating tools that overflow the window."""
+    """Lay out an agent prompt, truncating tools that overflow the window.
+
+    The layout is a pure function of its inputs and is recomputed for
+    every turn (including within-step retries on the same tool set), so
+    the result is memoized — a serving workload lays out the same
+    (query, tools, window) combination many times.
+    """
+    return _plan_agent_prompt_cached(query_text, tuple(tools), context_window,
+                                     step_index, generation_reserve)
+
+
+@lru_cache(maxsize=8192)
+def _plan_agent_prompt_cached(
+    query_text: str,
+    tools: tuple[ToolSpec, ...],
+    context_window: int,
+    step_index: int,
+    generation_reserve: int,
+) -> PromptPlan:
     query_tokens = estimate_tokens(query_text)
     history_tokens = HISTORY_TOKENS_PER_STEP * step_index
     budget = (context_window - generation_reserve - AGENT_SYSTEM_TOKENS

@@ -1,0 +1,270 @@
+"""The micro-batch scheduler: bounded queue, fairness, deadline flushing.
+
+Requests enter per-tenant FIFO queues and leave in micro-batches cut by
+whichever comes first — the batch filling up (``max_batch_size``) or the
+oldest waiting request hitting its coalescing deadline (``max_wait_ms``).
+Batches are assembled round-robin across tenants so one chatty tenant
+cannot starve the others, and each batch is processed on a dedicated
+worker thread so the event loop keeps admitting (and coalescing) traffic
+while the previous batch executes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.serving.config import ServingConfig
+from repro.serving.telemetry import Telemetry
+
+
+class QueueFullError(RuntimeError):
+    """Admission control bounced the request: the queue is at capacity."""
+
+
+class SchedulerStoppedError(RuntimeError):
+    """The scheduler is not accepting submissions (stopped or never started)."""
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: opaque payload plus its completion future."""
+
+    tenant: str
+    payload: Any
+    future: asyncio.Future = field(repr=False)
+    enqueued_at: float = 0.0
+    #: stamped at flush time so responses can report their batch context
+    batch_size: int = 0
+    dequeued_at: float = 0.0
+
+
+class BatchScheduler:
+    """Coalesces submissions into micro-batches for a processor callable.
+
+    Parameters
+    ----------
+    process:
+        ``process(batch: list[PendingRequest]) -> list[Any]`` — runs on
+        the worker thread, must return one result per request in order.
+        Exceptions fail every request in the batch.
+    config:
+        Batch/queue tunables (:class:`ServingConfig`).
+    telemetry:
+        Recorder for queue depth, batch sizes and rejections.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[list[PendingRequest]], list[Any]],
+        config: ServingConfig,
+        telemetry: Telemetry | None = None,
+    ):
+        self._process = process
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._queues: dict[str, deque[PendingRequest]] = {}
+        self._rr_offset = 0
+        self._total_pending = 0
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping = False
+        # one worker: episodes are GIL-bound pure Python, so extra threads
+        # only add contention; the win comes from batching the kernels
+        self._worker = _SingleWorker()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("scheduler already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._task = self._loop.create_task(self._run(), name="batch-scheduler")
+
+    async def stop(self) -> None:
+        """Drain the queue, finish in-flight batches, stop the loop."""
+        if self._task is None:
+            return
+        self._stopping = True
+        self._wake.set()
+        await self._task
+        self._task = None
+        self._worker.shutdown()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting (excludes the batch being processed)."""
+        return self._total_pending
+
+    # ------------------------------------------------------------------
+    # submission (event loop thread)
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, payload: Any) -> asyncio.Future:
+        """Queue one request, returning the future its result lands on.
+
+        Raises :class:`QueueFullError` when admission control rejects the
+        request and :class:`SchedulerStoppedError` outside start/stop.
+        """
+        if self._task is None or self._stopping:
+            raise SchedulerStoppedError("scheduler is not running")
+        if self._total_pending >= self.config.queue_capacity:
+            self.telemetry.record_rejection()
+            raise QueueFullError(
+                f"queue at capacity ({self.config.queue_capacity} waiting)")
+        future = self._loop.create_future()
+        request = PendingRequest(tenant=tenant, payload=payload, future=future,
+                                 enqueued_at=self._loop.time())
+        self._queues.setdefault(tenant, deque()).append(request)
+        self._total_pending += 1
+        self.telemetry.record_admission(self._total_pending)
+        self._wake.set()
+        return future
+
+    # ------------------------------------------------------------------
+    # scheduler loop
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            if self._total_pending == 0:
+                if self._stopping:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+
+            # coalescing window: wait for more traffic until the oldest
+            # request's deadline or a full batch, whichever is first
+            deadline = self._oldest_enqueue() + self.config.max_wait_s
+            while (self._total_pending < self.config.max_batch_size
+                   and not self._stopping):
+                remaining = deadline - self._loop.time()
+                if remaining <= 0.0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+
+            batch = self._cut_batch()
+            if not batch:
+                continue
+            self.telemetry.record_flush(len(batch))
+            try:
+                results = await self._loop.run_in_executor(
+                    self._worker, self._process_batch, batch)
+            except Exception as exc:  # noqa: BLE001 - fail the whole batch
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            for request, result in zip(batch, results):
+                if request.future.done():
+                    continue
+                # processors may fail a subset of the batch by returning
+                # an exception in that request's slot (see the gateway's
+                # per-group containment)
+                if isinstance(result, BaseException):
+                    request.future.set_exception(result)
+                else:
+                    request.future.set_result(result)
+
+    def _process_batch(self, batch: list[PendingRequest]) -> list[Any]:
+        results = self._process(batch)
+        if len(results) != len(batch):
+            raise RuntimeError(
+                f"processor returned {len(results)} results for a batch of "
+                f"{len(batch)}")
+        return results
+
+    def _oldest_enqueue(self) -> float:
+        return min(queue[0].enqueued_at for queue in self._queues.values() if queue)
+
+    def _cut_batch(self) -> list[PendingRequest]:
+        """Drain up to ``max_batch_size`` requests, round-robin by tenant.
+
+        The rotation offset advances every flush so whichever tenant went
+        first last time goes later this time — cheap long-run fairness on
+        top of the per-flush interleaving.
+        """
+        tenants = [name for name, queue in self._queues.items() if queue]
+        if not tenants:
+            return []
+        self._rr_offset = (self._rr_offset + 1) % len(tenants)
+        tenants = tenants[self._rr_offset:] + tenants[:self._rr_offset]
+        batch: list[PendingRequest] = []
+        now = self._loop.time()
+        while len(batch) < self.config.max_batch_size:
+            progressed = False
+            for name in tenants:
+                queue = self._queues[name]
+                if not queue:
+                    continue
+                request = queue.popleft()
+                request.dequeued_at = now
+                batch.append(request)
+                self._total_pending -= 1
+                progressed = True
+                if len(batch) >= self.config.max_batch_size:
+                    break
+            if not progressed:
+                break
+        for request in batch:
+            request.batch_size = len(batch)
+        return batch
+
+
+class _SingleWorker:
+    """Minimal one-thread executor compatible with ``run_in_executor``.
+
+    ``concurrent.futures.ThreadPoolExecutor`` would work too; this keeps
+    the worker's lifecycle explicit (one named thread, deterministic
+    shutdown) and avoids pool bookkeeping on the per-batch hot path.
+    """
+
+    def __init__(self):
+        self._items: deque = deque()
+        self._available = threading.Semaphore(0)
+        self._thread: threading.Thread | None = None
+        self._shutdown = False
+
+    def submit(self, fn, *args):
+        import concurrent.futures
+
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._drain,
+                                            name="serving-batch-worker",
+                                            daemon=True)
+            self._thread.start()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._items.append((future, fn, args))
+        self._available.release()
+        return future
+
+    def _drain(self):
+        while True:
+            self._available.acquire()
+            if self._shutdown:
+                return
+            future, fn, args = self._items.popleft()
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - propagate via future
+                future.set_exception(exc)
+
+    def shutdown(self):
+        self._shutdown = True
+        self._available.release()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._shutdown = False

@@ -1,0 +1,48 @@
+"""Configuration for the serving gateway."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of the gateway's admission control and micro-batcher.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush a micro-batch as soon as this many requests are waiting.
+        The planning stage of the whole batch runs through one vectorized
+        ``encode``/``search_arrays`` pass, so larger batches amortize
+        more kernel overhead at the cost of head-of-line latency.
+    max_wait_ms:
+        Deadline-based flush: a request never waits longer than this for
+        co-batchable traffic before its (possibly smaller) batch is cut.
+    queue_capacity:
+        Admission control — total requests allowed to wait across all
+        tenants.  Submissions beyond it fail fast with
+        :class:`~repro.serving.batcher.QueueFullError` instead of growing
+        an unbounded backlog.
+    default_scheme / default_model / default_quant:
+        Agent grid cell used for requests that do not specify one.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 256
+    default_scheme: str = "lis-k3"
+    default_model: str = "hermes2-pro-8b"
+    default_quant: str = "q4_K_M"
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0.0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1e3

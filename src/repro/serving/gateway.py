@@ -1,0 +1,183 @@
+"""The serving front door: request intake, batching, episode execution.
+
+``Gateway.submit`` is the whole client API: it resolves the tenant,
+applies admission control, queues the request on the micro-batch
+scheduler and awaits the episode result.  Batches are planned through
+the agents' vectorized :meth:`plan_batch` (one ``encode`` and one
+multi-query search per index for the whole batch) and then executed
+per-episode with :meth:`run_planned` — so a served episode is bitwise
+identical to running the same query through the sequential
+:class:`~repro.evaluation.runner.ExperimentRunner` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.core.episode import EpisodeResult
+from repro.serving.batcher import BatchScheduler, PendingRequest
+from repro.serving.config import ServingConfig
+from repro.serving.session import SessionManager
+from repro.serving.telemetry import Telemetry
+from repro.suites.base import Query
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """Scheduler payload: the resolved query and its agent cell."""
+
+    query: Query
+    scheme: str
+    model: str
+    quant: str
+
+
+@dataclass
+class ServingResponse:
+    """What a client gets back for one request."""
+
+    tenant: str
+    episode: EpisodeResult
+    #: size of the micro-batch this request rode in
+    batch_size: int
+    #: seconds spent waiting in the queue before the batch was cut
+    queued_s: float
+    #: total client-observed seconds, stamped by :meth:`Gateway.submit`
+    latency_s: float = 0.0
+
+
+class Gateway:
+    """Async front door serving function-calling requests at scale.
+
+    Usage::
+
+        sessions = SessionManager()
+        sessions.register("home", load_suite("edgehome"))
+        async with Gateway(sessions) as gateway:
+            response = await gateway.submit("home", query)
+
+    The gateway owns a :class:`BatchScheduler` (bounded queue, per-tenant
+    round-robin fairness, deadline-based flushing) and a
+    :class:`Telemetry` recorder exposed through :meth:`metrics`.
+    """
+
+    def __init__(
+        self,
+        sessions: SessionManager,
+        config: ServingConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.sessions = sessions
+        self.config = config if config is not None else ServingConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.scheduler = BatchScheduler(self._process_batch, self.config,
+                                        telemetry=self.telemetry)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Warm every tenant's default agent cell and begin accepting."""
+        self.sessions.warm_all(self.config.default_scheme,
+                               self.config.default_model,
+                               self.config.default_quant)
+        await self.scheduler.start()
+
+    async def stop(self) -> None:
+        await self.scheduler.stop()
+
+    async def __aenter__(self) -> "Gateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        tenant: str,
+        query: Query | str,
+        scheme: str | None = None,
+        model: str | None = None,
+        quant: str | None = None,
+    ) -> ServingResponse:
+        """Serve one function-calling request end to end.
+
+        ``query`` may be a :class:`Query` or a qid string resolved
+        against the tenant's suite.  Raises
+        :class:`~repro.serving.session.UnknownTenantError` for unknown
+        tenants and :class:`~repro.serving.batcher.QueueFullError` when
+        admission control rejects the request.
+        """
+        session = self.sessions.get(tenant)
+        item = WorkItem(
+            query=session.resolve_query(query),
+            scheme=scheme or self.config.default_scheme,
+            model=model or self.config.default_model,
+            quant=quant or self.config.default_quant,
+        )
+        started = time.perf_counter()
+        future = self.scheduler.submit(tenant, item)
+        try:
+            response: ServingResponse = await future
+        except Exception:
+            self.telemetry.record_completion(0.0, ok=False)
+            raise
+        response.latency_s = time.perf_counter() - started
+        self.telemetry.record_completion(response.latency_s, ok=True)
+        return response
+
+    def metrics(self) -> dict:
+        """Current telemetry snapshot (queue, batches, latency percentiles)."""
+        return self.telemetry.snapshot()
+
+    # ------------------------------------------------------------------
+    # batch execution (worker thread)
+    # ------------------------------------------------------------------
+    def _process_batch(
+        self, batch: list[PendingRequest],
+    ) -> list[ServingResponse | Exception]:
+        """Plan the whole micro-batch vectorized, then run each episode.
+
+        Requests are grouped by ``(tenant, scheme, model, quant)``; each
+        group's planning stage becomes one ``plan_batch`` call against
+        that tenant's agent, coalescing every request's embedding and
+        Level-1/Level-2 retrieval into single kernel invocations.
+
+        Failures are contained per group: an invalid model name (or any
+        agent error) fails only the requests sharing that grid cell —
+        their slots carry the exception back to the scheduler — while the
+        rest of the micro-batch is served normally.
+        """
+        groups: dict[tuple[str, str, str, str], list[int]] = {}
+        for position, request in enumerate(batch):
+            item: WorkItem = request.payload
+            key = (request.tenant, item.scheme, item.model, item.quant)
+            groups.setdefault(key, []).append(position)
+
+        responses: list[ServingResponse | Exception | None] = [None] * len(batch)
+        for (tenant, scheme, model, quant), positions in groups.items():
+            try:
+                agent = self.sessions.get(tenant).agent_for(scheme, model, quant)
+                queries = [batch[position].payload.query for position in positions]
+                plans = agent.plan_batch(queries)
+                for position, query, plan in zip(positions, queries, plans):
+                    request = batch[position]
+                    episode = agent.run_planned(query, plan)
+                    responses[position] = ServingResponse(
+                        tenant=tenant,
+                        episode=episode,
+                        batch_size=request.batch_size,
+                        queued_s=max(0.0,
+                                     request.dequeued_at - request.enqueued_at),
+                    )
+            except Exception as exc:  # noqa: BLE001 - contained per group
+                for position in positions:
+                    if responses[position] is None:
+                        responses[position] = exc
+        return responses

@@ -1,0 +1,123 @@
+"""Closed-loop load generator for the serving gateway.
+
+``run_closed_loop`` drives a running gateway with ``concurrency``
+clients, each submitting the next request from a shared workload as soon
+as its previous one completes — the standard closed-loop model, whose
+offered load adapts to service throughput.  The sync :func:`run_load`
+wrapper owns the event loop and the gateway lifecycle, which is what the
+bench harness and tests call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.core.episode import EpisodeResult
+from repro.serving.config import ServingConfig
+from repro.serving.gateway import Gateway
+from repro.serving.session import SessionManager
+from repro.serving.telemetry import percentile
+from repro.suites.base import BenchmarkSuite, Query
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One request of the workload: tenant plus query."""
+
+    tenant: str
+    query: Query
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    n_requests: int
+    concurrency: int
+    wall_s: float
+    latencies_s: list[float] = field(repr=False, default_factory=list)
+    #: qid -> episode, for equivalence checks against the offline runner
+    episodes: dict[str, EpisodeResult] = field(repr=False, default_factory=dict)
+    gateway_metrics: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def latency_p50_ms(self) -> float:
+        return percentile(self.latencies_s, 50.0) * 1e3
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return percentile(self.latencies_s, 95.0) * 1e3
+
+    @property
+    def latency_p99_ms(self) -> float:
+        return percentile(self.latencies_s, 99.0) * 1e3
+
+
+async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
+                          concurrency: int) -> LoadReport:
+    """Drive ``workload`` through a *running* gateway at ``concurrency``."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    pending = iter(workload)
+    latencies: list[float] = []
+    episodes: dict[str, EpisodeResult] = {}
+
+    async def client() -> None:
+        for spec in pending:
+            response = await gateway.submit(spec.tenant, spec.query)
+            latencies.append(response.latency_s)
+            episodes[response.episode.qid] = response.episode
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(min(concurrency, len(workload)))))
+    wall_s = time.perf_counter() - started
+    return LoadReport(
+        n_requests=len(workload),
+        concurrency=concurrency,
+        wall_s=wall_s,
+        latencies_s=latencies,
+        episodes=episodes,
+        gateway_metrics=gateway.metrics(),
+    )
+
+
+def make_workload(suites: dict[str, BenchmarkSuite], n_requests: int) -> list[LoadSpec]:
+    """Interleave the tenants' eval queries into an ``n_requests`` stream."""
+    if not suites:
+        raise ValueError("at least one tenant suite is required")
+    streams = {tenant: suite.queries for tenant, suite in suites.items()}
+    workload: list[LoadSpec] = []
+    position = 0
+    tenants = list(streams)
+    while len(workload) < n_requests:
+        tenant = tenants[position % len(tenants)]
+        queries = streams[tenant]
+        workload.append(LoadSpec(tenant, queries[(position // len(tenants)) % len(queries)]))
+        position += 1
+    return workload
+
+
+def run_load(
+    suites: dict[str, BenchmarkSuite],
+    config: ServingConfig,
+    n_requests: int,
+    concurrency: int,
+    embedder=None,
+) -> LoadReport:
+    """Boot a gateway over ``suites``, drive it closed-loop, shut it down."""
+    sessions = SessionManager(embedder=embedder)
+    for tenant, suite in suites.items():
+        sessions.register(tenant, suite)
+    workload = make_workload(suites, n_requests)
+
+    async def session() -> LoadReport:
+        async with Gateway(sessions, config=config) as gateway:
+            return await run_closed_loop(gateway, workload, concurrency)
+
+    return asyncio.run(session())

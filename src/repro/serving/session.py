@@ -1,0 +1,114 @@
+"""Multi-tenant session state: per-tenant tool catalogs and Search Levels.
+
+Each tenant is one :class:`~repro.suites.base.BenchmarkSuite` — its own
+tool registry, offline-built Search Levels and lazily-constructed agent
+grid cells.  Tenants share a single lock-protected
+:class:`~repro.embedding.cache.CachedEmbedder`, so the vector for a
+given text is computed once across the whole gateway regardless of which
+tenant first asked for it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.embedding.cache import CachedEmbedder
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites.base import BenchmarkSuite, Query
+
+
+class UnknownTenantError(KeyError):
+    """Raised when a request names a tenant that was never registered."""
+
+
+class TenantSession:
+    """One tenant's serving state: suite, Search Levels, agent cache.
+
+    Agents are constructed lazily per ``(scheme, model, quant)`` cell via
+    the tenant's :class:`ExperimentRunner` (so Search Levels are built
+    once and shared, exactly like the offline evaluation path) and cached
+    for reuse across requests.  Serving agents keep their executor's
+    per-call log disabled: episodes from many users would otherwise
+    accumulate in one unbounded list.
+    """
+
+    def __init__(self, name: str, suite: BenchmarkSuite, embedder: CachedEmbedder):
+        self.name = name
+        self.suite = suite
+        self.runner = ExperimentRunner(suite, embedder=embedder)
+        self._agents: dict[tuple[str, str, str], object] = {}
+        self._lock = threading.Lock()
+        self._queries_by_qid = {query.qid: query for query in suite.queries}
+
+    def agent_for(self, scheme: str, model: str, quant: str):
+        """Return (building if needed) the agent for one grid cell."""
+        key = (scheme, model, quant)
+        with self._lock:
+            agent = self._agents.get(key)
+            if agent is None:
+                agent = self.runner.make_agent(scheme, model, quant)
+                agent.executor.log_calls = False
+                self._agents[key] = agent
+            return agent
+
+    def resolve_query(self, query: Query | str) -> Query:
+        """Accept a :class:`Query` or a qid string from this tenant's suite."""
+        if isinstance(query, Query):
+            return query
+        try:
+            return self._queries_by_qid[query]
+        except KeyError:
+            raise KeyError(
+                f"tenant {self.name!r} has no query with qid {query!r}") from None
+
+    def warm(self, scheme: str, model: str, quant: str) -> None:
+        """Build levels, the agent and the tool-corpus embeddings up front.
+
+        Serving latency should not pay the one-time offline cost on the
+        first request, so the gateway warms every registered tenant's
+        default cell before accepting traffic.
+        """
+        agent = self.agent_for(scheme, model, quant)
+        agent.embedder.encode(self.suite.registry.descriptions())
+
+
+class SessionManager:
+    """Registry of tenants sharing one embedder cache.
+
+    Thread-safe: tenants may be registered while the gateway serves
+    (e.g. onboarding a new tool catalog), and lookups happen from both
+    the event loop and the batch worker.
+    """
+
+    def __init__(self, embedder: CachedEmbedder | None = None):
+        self.embedder = embedder if embedder is not None else CachedEmbedder()
+        self._tenants: dict[str, TenantSession] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, suite: BenchmarkSuite) -> TenantSession:
+        """Add a tenant serving ``suite``; duplicate names are an error."""
+        with self._lock:
+            if name in self._tenants:
+                raise ValueError(f"tenant {name!r} already registered")
+            session = TenantSession(name, suite, self.embedder)
+            self._tenants[name] = session
+            return session
+
+    def get(self, name: str) -> TenantSession:
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise UnknownTenantError(
+                    f"unknown tenant {name!r}; registered: {sorted(self._tenants)}"
+                ) from None
+
+    @property
+    def tenant_names(self) -> list[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    def warm_all(self, scheme: str, model: str, quant: str) -> None:
+        """Warm every registered tenant's default grid cell."""
+        for name in self.tenant_names:
+            self.get(name).warm(scheme, model, quant)

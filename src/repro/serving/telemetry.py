@@ -1,0 +1,137 @@
+"""Serving metrics: queue depth, batch sizes, latency percentiles.
+
+All record methods are lock-protected — admissions happen on the event
+loop thread while flushes and completions are recorded from the batch
+worker — and :meth:`Telemetry.snapshot` returns a plain-dict view that
+the bench harness writes into ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Implemented locally (nearest-rank with interpolation, like
+    ``numpy.percentile``'s default) so telemetry snapshots stay cheap and
+    dependency-free; returns 0.0 for an empty sample.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+class _Ring:
+    """Fixed-capacity sample buffer: overwrites oldest once full."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+
+    def push(self, value: float) -> None:
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def values(self) -> list[float]:
+        return list(self._samples)
+
+
+class Telemetry:
+    """Thread-safe counters and samples for one gateway instance.
+
+    Parameters
+    ----------
+    max_samples:
+        Bound on the retained latency / queue-depth sample lists so a
+        long-lived gateway cannot grow without limit; once full, new
+        samples overwrite the oldest (each list is its own ring buffer).
+        Counters and the batch-size histogram are exact regardless.
+    """
+
+    def __init__(self, max_samples: int = 100_000):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._batch_sizes: Counter[int] = Counter()
+        self._queue_depths = _Ring(max_samples)
+        self._latencies_s = _Ring(max_samples)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_admission(self, queue_depth: int) -> None:
+        """One request accepted into the queue (depth *after* enqueue)."""
+        with self._lock:
+            self._admitted += 1
+            self._queue_depths.push(float(queue_depth))
+
+    def record_rejection(self) -> None:
+        """One request bounced by admission control."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_flush(self, batch_size: int) -> None:
+        """One micro-batch cut and dispatched."""
+        with self._lock:
+            self._batch_sizes[int(batch_size)] += 1
+
+    def record_completion(self, latency_s: float, ok: bool = True) -> None:
+        """One request finished (``latency_s`` is submit-to-response)."""
+        with self._lock:
+            if ok:
+                self._completed += 1
+                self._latencies_s.push(float(latency_s))
+            else:
+                self._failed += 1
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time metrics dict (JSON-serializable)."""
+        with self._lock:
+            latencies = self._latencies_s.values()
+            depths = self._queue_depths.values()
+            sizes = dict(sorted(self._batch_sizes.items()))
+            admitted, rejected = self._admitted, self._rejected
+            completed, failed = self._completed, self._failed
+        n_batches = sum(sizes.values())
+        n_batched = sum(size * count for size, count in sizes.items())
+        return {
+            "requests_admitted": admitted,
+            "requests_rejected": rejected,
+            "requests_completed": completed,
+            "requests_failed": failed,
+            "n_batches": n_batches,
+            "mean_batch_size": (n_batched / n_batches) if n_batches else 0.0,
+            "max_batch_size": max(sizes) if sizes else 0,
+            "batch_size_histogram": {str(size): count for size, count in sizes.items()},
+            "queue_depth_max": max(depths) if depths else 0.0,
+            "queue_depth_mean": (sum(depths) / len(depths)) if depths else 0.0,
+            "latency_p50_ms": percentile(latencies, 50.0) * 1e3,
+            "latency_p95_ms": percentile(latencies, 95.0) * 1e3,
+            "latency_p99_ms": percentile(latencies, 99.0) * 1e3,
+            "latency_mean_ms": (sum(latencies) / len(latencies) * 1e3
+                                if latencies else 0.0),
+        }

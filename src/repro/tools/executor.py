@@ -10,6 +10,7 @@ the simulated LLM's argument mistakes into the paper's success-rate gap.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -45,11 +46,27 @@ class SimulatedToolExecutor:
         deterministic per call).  The paper's execution-time metric is
         dominated by LLM inference; API latency is kept small but nonzero
         so the hardware traces stay realistic.
+    log_calls:
+        Whether to append every outcome to :attr:`executed`.  The log is
+        handy for single-episode debugging but grows without bound, so
+        long-lived serving workers sharing one executor switch it off.
+        Appends are lock-protected either way, making one executor safe
+        to share across concurrent episodes.
     """
 
     registry: ToolRegistry
     api_latency_mean_s: float = 0.15
     executed: list[ExecutionOutcome] = field(default_factory=list)
+    log_calls: bool = True
+
+    def __post_init__(self):
+        self._log_lock = threading.Lock()
+
+    def _record(self, outcome: ExecutionOutcome) -> ExecutionOutcome:
+        if self.log_calls:
+            with self._log_lock:
+                self.executed.append(outcome)
+        return outcome
 
     def execute(self, call: ToolCall, allowed: set[str] | None = None) -> ExecutionOutcome:
         """Validate and run one call.
@@ -59,36 +76,29 @@ class SimulatedToolExecutor:
         fails, exactly as it would through a constrained decoder).
         """
         if allowed is not None and call.tool not in allowed:
-            outcome = ExecutionOutcome(
+            return self._record(ExecutionOutcome(
                 call=call, ok=False,
                 error=f"tool {call.tool!r} was not offered to the agent",
-            )
-            self.executed.append(outcome)
-            return outcome
+            ))
         if call.tool not in self.registry:
-            outcome = ExecutionOutcome(call=call, ok=False, error=f"unknown tool {call.tool!r}")
-            self.executed.append(outcome)
-            return outcome
+            return self._record(ExecutionOutcome(
+                call=call, ok=False, error=f"unknown tool {call.tool!r}"))
 
         spec = self.registry.get(call.tool)
         issues = spec.validate_arguments(call.arguments)
         if issues:
-            outcome = ExecutionOutcome(
+            return self._record(ExecutionOutcome(
                 call=call, ok=False, issues=tuple(issues),
                 error="; ".join(str(issue) for issue in issues),
-            )
-            self.executed.append(outcome)
-            return outcome
+            ))
 
         rng = derive_rng("tool-exec", call.to_json())
         latency = float(self.api_latency_mean_s * rng.lognormal(mean=0.0, sigma=0.35))
-        outcome = ExecutionOutcome(
+        return self._record(ExecutionOutcome(
             call=call, ok=True,
             value=self._fabricate_result(call),
             api_latency_s=latency,
-        )
-        self.executed.append(outcome)
-        return outcome
+        ))
 
     def _fabricate_result(self, call: ToolCall) -> dict[str, Any]:
         """Deterministic, schema-shaped stand-in for the real API payload."""
@@ -101,4 +111,5 @@ class SimulatedToolExecutor:
 
     def reset(self) -> None:
         """Clear the execution log."""
-        self.executed.clear()
+        with self._log_lock:
+            self.executed.clear()

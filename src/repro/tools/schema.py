@@ -135,8 +135,17 @@ class ToolSpec:
         }
 
     def json_text(self) -> str:
-        """The JSON string form included in the LLM prompt."""
-        return json.dumps(self.to_json_schema(), separators=(",", ":"))
+        """The JSON string form included in the LLM prompt.
+
+        Memoized on the (frozen) instance: the schema is serialized for
+        every presented tool on every LLM turn, which makes this one of
+        the hottest strings in a serving workload.
+        """
+        cached = self.__dict__.get("_json_text")
+        if cached is None:
+            cached = json.dumps(self.to_json_schema(), separators=(",", ":"))
+            object.__setattr__(self, "_json_text", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -155,5 +164,11 @@ class ToolCall:
         return self.tool == other.tool
 
     def to_json(self) -> str:
-        return json.dumps({"name": self.tool, "arguments": self.arguments},
-                          separators=(",", ":"), sort_keys=True)
+        # memoized: the executor serializes the call several times per
+        # execution (RNG stream naming + result fabrication)
+        cached = self.__dict__.get("_to_json")
+        if cached is None:
+            cached = json.dumps({"name": self.tool, "arguments": self.arguments},
+                                separators=(",", ":"), sort_keys=True)
+            object.__setattr__(self, "_to_json", cached)
+        return cached

@@ -30,17 +30,30 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
 
 
 def blend_and_normalize(vectors: np.ndarray, context: np.ndarray,
-                        weight: float = 0.75) -> np.ndarray:
-    """Convex blend of each row with a shared context vector, re-normalized.
+                        weight: float = 0.75,
+                        rowwise_context: bool = False) -> np.ndarray:
+    """Convex blend of each row with a context vector, re-normalized.
 
     This is the paper Section III-B step where recommended tool
     descriptions are embedded "alongside the corresponding user task": the
     description keeps ``weight`` of the mass so it still dominates the
     match, while the task context disambiguates multi-tool workflows.
+
+    With ``rowwise_context`` the context is an ``(n, dim)`` matrix giving
+    each row its own context vector — used by the batched planner to
+    blend many requests' description rows (each against its own query) in
+    one pass.  All operations are row-wise, so the result is bitwise
+    equal to per-request calls with the shared-vector form.
     """
     if not 0.0 <= weight <= 1.0:
         raise ValueError(f"weight must be in [0, 1], got {weight}")
     vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
     context = np.asarray(context, dtype=float)
-    blended = weight * vectors + (1.0 - weight) * context[None, :]
+    if not rowwise_context:
+        context = context[None, :]
+    elif context.shape != vectors.shape:
+        raise ValueError(
+            f"rowwise context shape {context.shape} must match vectors "
+            f"shape {vectors.shape}")
+    blended = weight * vectors + (1.0 - weight) * context
     return normalize_rows(blended)

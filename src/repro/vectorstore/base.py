@@ -117,10 +117,14 @@ class VectorIndex:
         indexes; an IVF probe may narrow some queries' candidate sets).
         """
         results = self.search(queries, k)
-        lengths = {len(result) for result in results}
-        if len(lengths) > 1:
-            raise ValueError("search_arrays requires uniform result lengths; "
-                             f"got {sorted(lengths)}")
+        lengths = [len(result) for result in results]
+        if len(set(lengths)) > 1:
+            raise ValueError(
+                f"search_arrays(k={k}) requires uniform result lengths over "
+                f"{len(self)} stored vectors, but the {len(results)} queries "
+                f"retrieved {lengths} neighbours each; use search() for "
+                "ragged results (an IVF probe over sparse lists can narrow "
+                "some queries' candidate sets)")
         return (np.stack([result.scores for result in results]),
                 np.stack([result.ids for result in results]))
 

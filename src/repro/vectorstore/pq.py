@@ -15,6 +15,7 @@ import numpy as np
 from repro.utils.rng import derive_rng
 from repro.vectorstore.base import SearchResult, VectorIndex
 from repro.vectorstore.ivf import kmeans
+from repro.vectorstore.metrics import batch_invariant_matmul
 
 
 class PQIndex(VectorIndex):
@@ -79,9 +80,12 @@ class PQIndex(VectorIndex):
 
     @staticmethod
     def _block_dists(block: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        # the fixed-shape matmul keeps per-query LUTs (and therefore PQ
+        # scores) bitwise independent of the query batch composition
         b_sq = np.sum(block**2, axis=1, keepdims=True)
         c_sq = np.sum(centroids**2, axis=1)
-        return b_sq - 2.0 * block @ centroids.T + c_sq[None, :]
+        cross = batch_invariant_matmul(block, centroids.T)
+        return b_sq - 2.0 * cross + c_sq[None, :]
 
     def _on_add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
         if self.is_trained:

@@ -1,0 +1,188 @@
+"""Unit tests for the micro-batch scheduler (no agents involved)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    BatchScheduler,
+    QueueFullError,
+    SchedulerStoppedError,
+    ServingConfig,
+    Telemetry,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_processor(batch):
+    """Return each request's payload, tagged with its batch size."""
+    return [(request.payload, request.batch_size) for request in batch]
+
+
+async def start_scheduler(config, process=echo_processor, telemetry=None):
+    scheduler = BatchScheduler(process, config, telemetry=telemetry)
+    await scheduler.start()
+    return scheduler
+
+
+def test_flush_on_max_batch_size():
+    async def scenario():
+        telemetry = Telemetry()
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=4, max_wait_ms=10_000.0),
+            telemetry=telemetry)
+        futures = [scheduler.submit("t", i) for i in range(4)]
+        results = await asyncio.gather(*futures)
+        await scheduler.stop()
+        return results, telemetry.snapshot()
+
+    results, metrics = run(scenario())
+    # a full batch flushed long before the (huge) deadline
+    assert [payload for payload, _ in results] == [0, 1, 2, 3]
+    assert all(size == 4 for _, size in results)
+    assert metrics["batch_size_histogram"] == {"4": 1}
+
+
+def test_flush_on_deadline_with_partial_batch():
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=64, max_wait_ms=5.0))
+        futures = [scheduler.submit("t", i) for i in range(3)]
+        results = await asyncio.wait_for(asyncio.gather(*futures), timeout=5.0)
+        await scheduler.stop()
+        return results
+
+    results = run(scenario())
+    assert all(size == 3 for _, size in results)
+
+
+def test_round_robin_fairness_across_tenants():
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=6, max_wait_ms=50.0))
+        # tenant "a" floods, tenant "b" sends one request
+        futures = [scheduler.submit("a", f"a{i}") for i in range(5)]
+        futures.append(scheduler.submit("b", "b0"))
+        results = await asyncio.gather(*futures)
+        await scheduler.stop()
+        return results
+
+    results = run(scenario())
+    payloads = [payload for payload, _ in results[:-1]]
+    b_result = results[-1]
+    # b's single request rode the same (first) batch despite a's flood
+    assert b_result == ("b0", 6)
+    assert payloads == [f"a{i}" for i in range(5)]
+
+
+def test_fairness_caps_flooding_tenant_in_cut_order():
+    """With a full queue from one tenant plus one from another, the batch
+    interleaves tenants instead of draining the flooder first."""
+    captured = []
+
+    def capture(batch):
+        captured.append([request.payload for request in batch])
+        return [None] * len(batch)
+
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=4, max_wait_ms=50.0), process=capture)
+        futures = [scheduler.submit("a", f"a{i}") for i in range(4)]
+        futures.append(scheduler.submit("b", "b0"))
+        await asyncio.gather(*futures)
+        await scheduler.stop()
+
+    run(scenario())
+    first_batch = captured[0]
+    # round-robin: b0 lands inside the first batch of 4, not behind all of a
+    assert "b0" in first_batch
+
+
+def test_admission_control_queue_full():
+    async def scenario():
+        telemetry = Telemetry()
+        # processor that blocks until released, so the queue backs up
+        release = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def slow(batch):
+            asyncio.run_coroutine_threadsafe(release.wait(), loop).result()
+            return [None] * len(batch)
+
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=1, max_wait_ms=0.0, queue_capacity=2),
+            process=slow, telemetry=telemetry)
+        inflight = [scheduler.submit("t", 0)]
+        await asyncio.sleep(0.05)  # let the first batch enter the worker
+        inflight += [scheduler.submit("t", 1), scheduler.submit("t", 2)]
+        with pytest.raises(QueueFullError):
+            scheduler.submit("t", 3)
+        release.set()
+        await asyncio.gather(*inflight)
+        await scheduler.stop()
+        return telemetry.snapshot()
+
+    metrics = run(scenario())
+    assert metrics["requests_rejected"] == 1
+    assert metrics["requests_admitted"] == 3
+
+
+def test_submit_outside_lifecycle_raises():
+    config = ServingConfig()
+    scheduler = BatchScheduler(echo_processor, config)
+    with pytest.raises(SchedulerStoppedError):
+        scheduler.submit("t", 0)
+
+    async def scenario():
+        await scheduler.start()
+        await scheduler.stop()
+        with pytest.raises(SchedulerStoppedError):
+            scheduler.submit("t", 0)
+
+    run(scenario())
+
+
+def test_processor_exception_fails_the_batch():
+    def broken(batch):
+        raise RuntimeError("kaboom")
+
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=2, max_wait_ms=1.0), process=broken)
+        futures = [scheduler.submit("t", i) for i in range(2)]
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        await scheduler.stop()
+        return outcomes
+
+    outcomes = run(scenario())
+    assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+
+
+def test_stop_drains_pending_requests():
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=8, max_wait_ms=10_000.0))
+        # fewer than a full batch with a far deadline; stop() must not
+        # strand them
+        futures = [scheduler.submit("t", i) for i in range(3)]
+        stop_task = asyncio.get_running_loop().create_task(scheduler.stop())
+        results = await asyncio.gather(*futures)
+        await stop_task
+        return results
+
+    results = run(scenario())
+    assert [payload for payload, _ in results] == [0, 1, 2]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServingConfig(max_batch_size=0)
+    with pytest.raises(ValueError):
+        ServingConfig(max_wait_ms=-1.0)
+    with pytest.raises(ValueError):
+        ServingConfig(queue_capacity=0)

@@ -1,0 +1,113 @@
+"""Served episodes must equal the sequential evaluation path, bitwise.
+
+This is the serving layer's core contract: micro-batching is a pure
+performance transform.  Three layers are pinned down —
+
+* the batch-invariant scoring kernels (every query's scores are the same
+  no matter which batch it rides in),
+* ``plan_batch`` against per-query ``plan``,
+* full episodes served through the async gateway against the offline
+  :class:`~repro.evaluation.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.embedding.cache import CachedEmbedder
+from repro.evaluation.runner import ExperimentRunner
+from repro.serving import Gateway, ServingConfig, SessionManager
+from repro.suites import load_suite
+
+MODEL, QUANT = "hermes2-pro-8b", "q4_K_M"
+
+
+@pytest.fixture(scope="module", params=["edgehome", "bfcl"])
+def suite(request):
+    return load_suite(request.param, n_queries=24)
+
+
+def test_plan_batch_matches_sequential_plan(suite):
+    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    agent = runner.make_agent("lis-k3", MODEL, QUANT)
+    queries = suite.queries[:16]
+
+    batched = agent.plan_batch(queries)
+    for query, batched_plan in zip(queries, batched):
+        single = agent.plan(query)
+        assert [tool.name for tool in batched_plan.tools] == \
+            [tool.name for tool in single.tools]
+        assert batched_plan.level == single.level
+        assert batched_plan.context_window == single.context_window
+        assert batched_plan.overhead_s == single.overhead_s
+        assert batched_plan.pre_usages == single.pre_usages
+
+
+def test_decide_batch_matches_decide(suite):
+    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    agent = runner.make_agent("lis-k3", MODEL, QUANT)
+    controller = agent.controller
+    rng = np.random.default_rng(7)
+    blocks = [
+        agent.embedder.encode([query.text])
+        for query in suite.queries[:6]
+    ]
+    blocks.append(np.zeros((0, agent.embedder.dim)))  # empty block -> Level 3
+    blocks.append(rng.normal(size=(3, agent.embedder.dim)))
+
+    batched = controller.decide_batch(blocks)
+    for block, decision in zip(blocks, batched):
+        single = controller.decide(block)
+        assert decision == single  # frozen dataclass: scores compare bitwise
+
+
+def test_served_episodes_equal_sequential_runner(suite):
+    """The acceptance criterion: gateway output == ExperimentRunner output."""
+    reference_runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    reference = {
+        episode.qid: episode
+        for episode in reference_runner.run("lis-k3", MODEL, QUANT).episodes
+    }
+
+    async def serve_all():
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        config = ServingConfig(max_batch_size=8, max_wait_ms=5.0)
+        async with Gateway(sessions, config=config) as gateway:
+            responses = await asyncio.gather(*(
+                gateway.submit("t", query) for query in suite.queries
+            ))
+        return responses
+
+    responses = asyncio.run(serve_all())
+    assert len(responses) == len(reference)
+    micro_batched = [r for r in responses if r.batch_size > 1]
+    assert micro_batched, "no request was actually micro-batched"
+    for response in responses:
+        # EpisodeResult equality covers steps, level, fallback, timing,
+        # energy and token floats — bitwise, thanks to batch-invariant
+        # kernels and per-query RNG streams
+        assert response.episode == reference[response.episode.qid]
+
+
+def test_served_results_independent_of_batch_composition(suite):
+    """The same query must serve identically alone and inside a batch."""
+
+    async def serve(queries, config):
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        async with Gateway(sessions, config=config) as gateway:
+            responses = await asyncio.gather(*(
+                gateway.submit("t", query) for query in queries
+            ))
+        return {r.episode.qid: r.episode for r in responses}
+
+    target = suite.queries[0]
+    alone = asyncio.run(serve(
+        [target], ServingConfig(max_batch_size=1, max_wait_ms=0.0)))
+    crowded = asyncio.run(serve(
+        suite.queries[:10], ServingConfig(max_batch_size=10, max_wait_ms=20.0)))
+    assert alone[target.qid] == crowded[target.qid]

@@ -54,10 +54,10 @@ def test_batched_equals_per_query(builder, k, vectors, queries):
     for qi, query in enumerate(queries):
         single = index.search_one(query, k)
         np.testing.assert_array_equal(batched[qi].ids, single.ids)
-        # BLAS blocks matmuls differently per batch shape, so raw scores
-        # agree to float precision rather than bitwise
-        np.testing.assert_allclose(batched[qi].scores, single.scores,
-                                   rtol=1e-12, atol=1e-12)
+        # scoring kernels run in fixed-shape padded blocks, so scores are
+        # bitwise identical no matter the batch composition (the serving
+        # micro-batcher's determinism contract)
+        np.testing.assert_array_equal(batched[qi].scores, single.scores)
 
 
 @pytest.mark.parametrize("builder", BUILDERS)
@@ -124,3 +124,65 @@ def test_rows_hoisted_and_maintained(vectors):
     np.testing.assert_array_equal(index._rows, np.arange(60))
     index.add(np.ones((2, 16)))
     np.testing.assert_array_equal(index._rows, np.arange(62))
+
+
+def test_scores_invariant_across_batch_compositions(vectors, queries):
+    """A query's scores are bitwise stable however it shares a batch.
+
+    This is what lets the serving gateway stack many requests'
+    recommendation vectors into one search without the batch composition
+    (which depends on request timing) leaking into any request's result.
+    """
+    index = build_flat_cosine(vectors)
+    reference, reference_ids = index.search_arrays(queries, 5)
+    # larger stacked batch (crosses the padded-block boundary)
+    stacked = np.vstack([queries, queries, queries])
+    stacked_scores, stacked_ids = index.search_arrays(stacked, 5)
+    for copy in range(3):
+        block = slice(copy * len(queries), (copy + 1) * len(queries))
+        np.testing.assert_array_equal(stacked_scores[block], reference)
+        np.testing.assert_array_equal(stacked_ids[block], reference_ids)
+    # odd-sized sub-batches and single rows
+    for start in range(0, len(queries), 3):
+        scores, ids = index.search_arrays(queries[start:start + 3], 5)
+        np.testing.assert_array_equal(scores, reference[start:start + 3])
+        np.testing.assert_array_equal(ids, reference_ids[start:start + 3])
+
+
+def test_batch_invariant_matmul_handles_empty_and_blocked_shapes():
+    from repro.vectorstore.metrics import QUERY_BLOCK, batch_invariant_matmul
+
+    rng = np.random.default_rng(3)
+    stored = rng.standard_normal((9, 8))
+    empty = batch_invariant_matmul(np.zeros((0, 8)), stored.T)
+    assert empty.shape == (0, 9)
+    big = rng.standard_normal((QUERY_BLOCK * 2 + 5, 8))
+    np.testing.assert_array_equal(
+        batch_invariant_matmul(big, stored.T)[:5],
+        batch_invariant_matmul(big[:5], stored.T))
+
+
+def test_search_arrays_nonuniform_error_is_actionable(vectors):
+    """An IVF probe over sparse lists can retrieve ragged result counts;
+    the serving batcher surfaces that as a descriptive error, not a bare
+    'non-uniform' complaint."""
+    index = IVFIndex(dim=16, metric="cosine", n_lists=8, nprobe=1)
+    index.add(vectors[:10])
+    index.train()
+    queries = derive_rng("ragged-queries").standard_normal((6, 16))
+    try:
+        index.search_arrays(queries, 8)
+    except ValueError as error:
+        message = str(error)
+        assert "k=8" in message
+        assert "10 stored vectors" in message
+        assert "6 queries" in message
+        # the per-query retrieval counts are spelled out
+        assert "[" in message and "]" in message
+    else:
+        # nprobe=1 over 8 lists of 10 vectors should give ragged counts;
+        # if clustering happened to balance them, force the empty path
+        lonely = FlatIndex(dim=16, metric="cosine")
+        lonely.add(vectors[:1])
+        scores, ids = lonely.search_arrays(queries, 8)
+        assert scores.shape == (6, 1)
