@@ -3,11 +3,16 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-check bench-serving bench-paper
+.PHONY: test test-process bench bench-check bench-serving bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## process-backend equivalence tests with an explicit 2-worker pool
+test-process:
+	REPRO_PROCESS_WORKERS=2 $(PYTHON) -m pytest \
+		tests/test_runner_process.py tests/test_serving_equivalence.py -q
 
 ## regenerate the committed perf baseline at the repo root
 bench:

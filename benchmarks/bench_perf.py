@@ -113,6 +113,48 @@ def test_episode_throughput(benchmark):
     attach_rows(benchmark, {"n_episodes": len(results)})
 
 
+@pytest.mark.benchmark(group="perf-grid")
+def test_process_grid_bitwise_equal_and_scales(benchmark):
+    """Process-pool grids must match sequential bitwise; >=2x with real cores.
+
+    The equivalence half always runs.  The speedup half is gated on the
+    machine actually having 4+ CPUs — worker processes cannot beat the
+    GIL on a single core, they can only pay pickling overhead there.
+    """
+    import os
+    import time
+
+    suite = load_suite("edgehome", n_queries=12)
+    schemes, models = ["default", "gorilla", "lis-k3"], ["hermes2-pro-8b"]
+    quants = ["q4_K_M", "q8_0"]
+
+    def grid(backend, workers):
+        runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+        start = time.perf_counter()
+        results = runner.run_grid(schemes, models, quants,
+                                  backend=backend, max_workers=workers)
+        return results, time.perf_counter() - start
+
+    sequential, sequential_s = grid("sequential", 1)
+    workers = min(len(sequential), max(2, os.cpu_count() or 1))
+    process, process_s = benchmark.pedantic(
+        grid, args=("process", workers), rounds=1, iterations=1)
+
+    assert set(process) == set(sequential)
+    for cell, run in sequential.items():
+        assert process[cell].episodes == run.episodes, cell
+
+    speedup = sequential_s / process_s
+    attach_rows(benchmark, {"process_workers": workers,
+                            "process_speedup": speedup})
+    print(f"\nprocess grid: x{speedup:.2f} at {workers} workers "
+          f"({sequential_s:.2f}s sequential, {process_s:.2f}s process)")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"process grid reached only {speedup:.2f}x at {workers} workers "
+            f"on a {os.cpu_count()}-CPU machine (required >= 2x)")
+
+
 @pytest.mark.benchmark(group="perf-serving")
 def test_micro_batched_serving_beats_sequential(benchmark):
     """The serving gateway's acceptance bar: >= 2x at concurrency 32."""

@@ -31,6 +31,7 @@ TRACKED_METRICS = [
     ("episode", "episodes_per_s", True),
     ("grid", "sequential_s", False),
     ("grid", "parallel_s", False),
+    ("grid", "process_s", False),
     ("serving", "batched_req_per_s", True),
     ("serving", "speedup_vs_sequential", True),
     # batched_p95_ms is reported in BENCH_perf.json but not guarded:

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        evaluate one (scheme, model, quant) batch on a suite
+``grid``       sweep a scheme x model x quant grid on a worker pool
 ``compare``    default vs Gorilla vs LiS side-by-side with error bars
 ``levels``     inspect the offline Search Levels built for a suite
 ``profile``    cost one hypothetical function-calling turn on the Orin
@@ -10,6 +11,8 @@ Commands
 Examples::
 
     python -m repro run --suite bfcl --scheme lis-k3 --model llama3.1-8b
+    python -m repro grid --suite bfcl --schemes default,lis-k3 \
+        --quants q4_K_M,q8_0 --backend process --workers 4
     python -m repro compare --suite geoengine --model hermes2-pro-8b -n 60
     python -m repro levels --suite geoengine
     python -m repro profile --tools 46 --window 16384 --quant q4_K_M
@@ -42,6 +45,27 @@ def cmd_run(args: argparse.Namespace) -> int:
                               title=f"{args.suite} | {args.queries} queries"))
     ci = success_rate_ci(run.episodes)
     print(f"success 95% CI: [{ci.low:.1%}, {ci.high:.1%}]")
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    import time
+
+    schemes = [s for s in args.schemes.split(",") if s]
+    models = [m for m in (args.models or args.model).split(",") if m]
+    quants = [q for q in (args.quants or args.quant).split(",") if q]
+    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
+    start = time.perf_counter()
+    results = runner.run_grid(schemes, models, quants,
+                              max_workers=args.workers, backend=args.backend)
+    wall_s = time.perf_counter() - start
+    print(render_metric_table(
+        {f"{scheme} {model}-{quant}": run.summary
+         for (scheme, model, quant), run in results.items()},
+        title=(f"{args.suite} | {len(results)} cells | {args.queries} queries | "
+               f"{args.backend} backend")))
+    print(f"{len(results)} cells in {wall_s:.2f}s "
+          f"({args.backend}, workers={args.workers or 'auto'})")
     return 0
 
 
@@ -106,6 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_parser)
     run_parser.add_argument("--scheme", default="lis-k3")
     run_parser.set_defaults(func=cmd_run)
+
+    grid_parser = sub.add_parser("grid", help="sweep a grid on a worker pool")
+    _add_common(grid_parser)
+    grid_parser.add_argument("--schemes", default="default,gorilla,lis-k3",
+                             help="comma-separated scheme names")
+    grid_parser.add_argument("--models", default=None,
+                             help="comma-separated model names "
+                                  "(default: the --model value)")
+    grid_parser.add_argument("--quants", default=None,
+                             help="comma-separated quantizations "
+                                  "(default: the --quant value)")
+    grid_parser.add_argument("--backend", default="thread",
+                             choices=["sequential", "thread", "process"],
+                             help="worker pool type (process scales the "
+                                  "GIL-bound episode loop across cores)")
+    grid_parser.add_argument("--workers", type=int, default=None,
+                             help="pool size (default: one per CPU, capped "
+                                  "at the cell count)")
+    grid_parser.set_defaults(func=cmd_grid)
 
     compare_parser = sub.add_parser("compare", help="all schemes side by side")
     _add_common(compare_parser)

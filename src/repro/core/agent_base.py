@@ -149,6 +149,22 @@ class FunctionCallingAgent:
         result.peak_memory_gb = session.peak_memory_gb
         return result
 
+    def run_planned_many(self, queries: list[Query],
+                         plans: list[ToolPlan]) -> list[EpisodeResult]:
+        """Execute a batch of already-planned episodes, in order.
+
+        The serial loop the serving layer runs after ``plan_batch`` —
+        inline on the gateway's batch worker, or inside a process-pool
+        worker (agents pickle cleanly: the embedder, direction bank and
+        tool executor recreate their locks on the receiving side), where
+        it is the unit of work shipped per worker slice.
+        """
+        if len(queries) != len(plans):
+            raise ValueError(
+                f"{len(queries)} queries but {len(plans)} plans")
+        return [self.run_planned(query, plan)
+                for query, plan in zip(queries, plans)]
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.serving.loadgen import (
     run_closed_loop,
     run_load,
 )
+from repro.serving.process import ProcessEpisodeExecutor
 from repro.serving.session import SessionManager, TenantSession, UnknownTenantError
 from repro.serving.telemetry import Telemetry, percentile
 
@@ -47,6 +48,7 @@ __all__ = [
     "LoadReport",
     "LoadSpec",
     "PendingRequest",
+    "ProcessEpisodeExecutor",
     "QueueFullError",
     "SchedulerStoppedError",
     "ServingConfig",

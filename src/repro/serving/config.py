@@ -26,6 +26,16 @@ class ServingConfig:
         an unbounded backlog.
     default_scheme / default_model / default_quant:
         Agent grid cell used for requests that do not specify one.
+    execution_backend:
+        Where the post-planning episode loop of a flushed batch runs:
+        ``"thread"`` (default) keeps it on the gateway's batch worker;
+        ``"process"`` fans it out across a pool of worker processes
+        (:class:`~repro.serving.process.ProcessEpisodeExecutor`) —
+        planning stays batched in the parent either way, and served
+        results are bitwise identical across backends.
+    execution_workers:
+        Process count for the ``"process"`` backend (default: one per
+        CPU).  Ignored by the thread backend.
     """
 
     max_batch_size: int = 32
@@ -34,6 +44,8 @@ class ServingConfig:
     default_scheme: str = "lis-k3"
     default_model: str = "hermes2-pro-8b"
     default_quant: str = "q4_K_M"
+    execution_backend: str = "thread"
+    execution_workers: int | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -42,6 +54,13 @@ class ServingConfig:
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
         if self.queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.execution_backend not in ("thread", "process"):
+            raise ValueError(
+                f"execution_backend must be 'thread' or 'process', "
+                f"got {self.execution_backend!r}")
+        if self.execution_workers is not None and self.execution_workers < 1:
+            raise ValueError(
+                f"execution_workers must be >= 1, got {self.execution_workers}")
 
     @property
     def max_wait_s(self) -> float:

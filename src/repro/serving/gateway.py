@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.core.episode import EpisodeResult
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
+from repro.serving.process import ProcessEpisodeExecutor
 from repro.serving.session import SessionManager
 from repro.serving.telemetry import Telemetry
 from repro.suites.base import Query
@@ -74,6 +75,7 @@ class Gateway:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.scheduler = BatchScheduler(self._process_batch, self.config,
                                         telemetry=self.telemetry)
+        self._process_stage: ProcessEpisodeExecutor | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -83,10 +85,24 @@ class Gateway:
         self.sessions.warm_all(self.config.default_scheme,
                                self.config.default_model,
                                self.config.default_quant)
+        if self.config.execution_backend == "process":
+            # prime the worker pool with each tenant's warmed runner
+            # (suite + Search Levels + embedder snapshot) *before* the
+            # scheduler starts, so all process spawning happens while
+            # only this coroutine is active
+            self._process_stage = ProcessEpisodeExecutor(
+                workers=self.config.execution_workers)
+            self._process_stage.start({
+                name: self.sessions.get(name).runner
+                for name in self.sessions.tenant_names
+            })
         await self.scheduler.start()
 
     async def stop(self) -> None:
         await self.scheduler.stop()
+        if self._process_stage is not None:
+            self._process_stage.shutdown()
+            self._process_stage = None
 
     async def __aenter__(self) -> "Gateway":
         await self.start()
@@ -147,7 +163,11 @@ class Gateway:
         Requests are grouped by ``(tenant, scheme, model, quant)``; each
         group's planning stage becomes one ``plan_batch`` call against
         that tenant's agent, coalescing every request's embedding and
-        Level-1/Level-2 retrieval into single kernel invocations.
+        Level-1/Level-2 retrieval into single kernel invocations.  The
+        planned episodes then execute either inline on this batch-worker
+        thread (the default) or across the process pool when the config
+        selects the ``"process"`` execution backend — tenants registered
+        after the pool was primed fall back to inline execution.
 
         Failures are contained per group: an invalid model name (or any
         agent error) fails only the requests sharing that grid cell —
@@ -166,9 +186,14 @@ class Gateway:
                 agent = self.sessions.get(tenant).agent_for(scheme, model, quant)
                 queries = [batch[position].payload.query for position in positions]
                 plans = agent.plan_batch(queries)
-                for position, query, plan in zip(positions, queries, plans):
+                stage = self._process_stage
+                if stage is not None and stage.covers(tenant):
+                    episodes = stage.execute(tenant, scheme, model, quant,
+                                             queries, plans)
+                else:
+                    episodes = agent.run_planned_many(queries, plans)
+                for position, episode in zip(positions, episodes):
                     request = batch[position]
-                    episode = agent.run_planned(query, plan)
                     responses[position] = ServingResponse(
                         tenant=tenant,
                         episode=episode,

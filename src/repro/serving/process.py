@@ -1,0 +1,172 @@
+"""Process-pool episode execution stage for the serving gateway.
+
+Micro-batch *planning* (one batched ``encode`` plus one multi-query
+search per Search Level) stays in the gateway's parent process, where the
+shared :class:`~repro.embedding.cache.CachedEmbedder` lives; episode
+*execution* is GIL-bound pure Python, so with
+``ServingConfig(execution_backend="process")`` the post-planning step
+loop of a flushed batch fans out across a pool of worker processes.
+
+Workers are primed once, at gateway start, with a pickled snapshot of
+every registered tenant's warmed :class:`ExperimentRunner` (suite, Search
+Levels, embedder cache); per-``(tenant, scheme, model, quant)`` agents
+are then built lazily inside each worker and reused across batches.
+Because planning output (the :class:`~repro.core.agent_base.ToolPlan`)
+crosses the process boundary with the query, and every episode draws
+from named BLAKE2-derived RNG streams, a worker-executed episode is
+bitwise identical to running :meth:`run_planned` in the parent — the
+same contract the threaded execution path honors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.episode import EpisodeResult
+from repro.evaluation.runner import ExperimentRunner
+from repro.suites.base import Query
+
+
+class ProcessEpisodeExecutor:
+    """Owns the worker pool that executes planned serving episodes.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (defaults to the CPU count).  The pool is
+        spawned eagerly in :meth:`start` — before the gateway begins
+        admitting traffic — so no fork happens later while the event
+        loop and batch-worker threads are running.
+    """
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._pool: ProcessPoolExecutor | None = None
+        self._tenants: frozenset[str] = frozenset()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, runners: dict[str, ExperimentRunner]) -> None:
+        """Spawn the pool, priming every worker with the tenant runners.
+
+        ``runners`` maps tenant name -> warmed runner; the dict is
+        pickled once per worker (shared objects — notably the embedder —
+        stay shared on the receiving side because they ride in a single
+        pickle).
+        """
+        if self._pool is not None:
+            raise RuntimeError("executor already started")
+        self._tenants = frozenset(runners)
+        # the barrier is a true rendezvous: every worker blocks at the
+        # end of its initializer until all `workers` processes (plus
+        # this parent) arrive, so start() cannot return while any
+        # worker is still cold — a fast sibling draining ready-pings
+        # cannot fake readiness
+        barrier = multiprocessing.get_context().Barrier(self.workers + 1)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker, initargs=(runners, barrier))
+        # each submit spawns one process while the pool is below
+        # max_workers, and none can complete before the barrier trips,
+        # so exactly `workers` processes come up now
+        ready = [self._pool.submit(_worker_ready)
+                 for _ in range(self.workers)]
+        try:
+            barrier.wait(timeout=60.0)
+        except threading.BrokenBarrierError:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            raise RuntimeError(
+                f"{self.workers} serving workers failed to initialize "
+                f"within 60s") from None
+        for future in ready:
+            future.result()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def covers(self, tenant: str) -> bool:
+        """Whether ``tenant`` was in the snapshot the workers hold.
+
+        Tenants registered after gateway start are unknown to the
+        workers; the gateway executes their episodes inline instead.
+        """
+        return tenant in self._tenants
+
+    def execute(self, tenant: str, scheme: str, model: str, quant: str,
+                queries: list[Query], plans: list) -> list[EpisodeResult]:
+        """Run one planned group across the pool, preserving order.
+
+        The group's episodes are dealt round-robin into one slice per
+        worker so each task carries many (query, plan) pairs — per-task
+        pickling overhead is paid per slice, not per episode.
+        """
+        if self._pool is None:
+            raise RuntimeError("executor is not running")
+        pairs = list(zip(queries, plans))
+        n_slices = min(self.workers, len(pairs))
+        if n_slices == 0:
+            return []
+        cell = (tenant, scheme, model, quant)
+        futures = [
+            self._pool.submit(_execute_slice, cell, pairs[start::n_slices])
+            for start in range(n_slices)
+        ]
+        episodes: list[EpisodeResult | None] = [None] * len(pairs)
+        for start, future in enumerate(futures):
+            for offset, episode in enumerate(future.result()):
+                episodes[start + offset * n_slices] = episode
+        return episodes
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+#: tenant -> runner snapshot, installed by the pool initializer
+_RUNNERS: dict[str, ExperimentRunner] = {}
+#: (tenant, scheme, model, quant) -> agent, built lazily per worker
+_AGENTS: dict[tuple[str, str, str, str], object] = {}
+
+
+def _init_worker(runners: dict[str, ExperimentRunner], barrier) -> None:
+    global _RUNNERS
+    _RUNNERS = runners
+    _AGENTS.clear()
+    # rendezvous with the parent and every sibling (see start())
+    barrier.wait(timeout=60.0)
+
+
+def _worker_ready() -> int:
+    """No-op barrier task used to force worker spawn at start time."""
+    return os.getpid()
+
+
+def _agent_for(cell: tuple[str, str, str, str]):
+    agent = _AGENTS.get(cell)
+    if agent is None:
+        tenant, scheme, model, quant = cell
+        agent = _RUNNERS[tenant].make_agent(scheme, model, quant)
+        # match TenantSession serving agents: an unbounded per-call log
+        # would grow for the worker's whole lifetime (and logging does
+        # not affect episode results)
+        agent.executor.log_calls = False
+        _AGENTS[cell] = agent
+    return agent
+
+
+def _execute_slice(cell: tuple[str, str, str, str], pairs) -> list[EpisodeResult]:
+    """Execute one worker's slice of a planned group."""
+    agent = _agent_for(cell)
+    return agent.run_planned_many([query for query, _ in pairs],
+                                  [plan for _, plan in pairs])

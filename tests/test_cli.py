@@ -25,6 +25,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--suite", "toolbench"])
 
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.backend == "thread"
+        assert args.workers is None
+        assert args.schemes == "default,gorilla,lis-k3"
+
+    def test_grid_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "--backend", "gpu"])
+
 
 class TestCommands:
     def test_run_command(self, capsys):

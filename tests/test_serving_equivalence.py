@@ -93,6 +93,70 @@ def test_served_episodes_equal_sequential_runner(suite):
         assert response.episode == reference[response.episode.qid]
 
 
+def test_process_execution_stage_equals_sequential_runner(suite):
+    """Worker-process episode execution must not change served results.
+
+    Planning stays batched in the parent; the post-planning step loop of
+    each flush runs across a 2-worker process pool
+    (``execution_backend="process"``) — and every served episode must
+    still equal the sequential :class:`ExperimentRunner` path bitwise.
+    """
+    import os
+
+    workers = int(os.environ.get("REPRO_PROCESS_WORKERS", "2"))
+    reference_runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    reference = {
+        episode.qid: episode
+        for episode in reference_runner.run("lis-k3", MODEL, QUANT).episodes
+    }
+
+    async def serve_all():
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        config = ServingConfig(max_batch_size=8, max_wait_ms=5.0,
+                               execution_backend="process",
+                               execution_workers=workers)
+        async with Gateway(sessions, config=config) as gateway:
+            return await asyncio.gather(*(
+                gateway.submit("t", query) for query in suite.queries
+            ))
+
+    responses = asyncio.run(serve_all())
+    assert len(responses) == len(reference)
+    assert [r for r in responses if r.batch_size > 1], \
+        "no request was actually micro-batched"
+    for response in responses:
+        assert response.episode == reference[response.episode.qid]
+
+
+def test_late_registered_tenant_served_inline_with_process_stage():
+    """Tenants registered after the pool was primed still serve correctly."""
+    early = load_suite("edgehome", n_queries=6)
+    late = load_suite("bfcl", n_queries=6)
+    reference = {
+        episode.qid: episode
+        for episode in ExperimentRunner(late, embedder=CachedEmbedder())
+        .run("lis-k3", MODEL, QUANT).episodes
+    }
+
+    async def serve():
+        sessions = SessionManager()
+        sessions.register("early", early)
+        config = ServingConfig(max_batch_size=4, max_wait_ms=5.0,
+                               execution_backend="process",
+                               execution_workers=2)
+        async with Gateway(sessions, config=config) as gateway:
+            assert gateway._process_stage.covers("early")
+            sessions.register("late", late)  # workers never saw this one
+            assert not gateway._process_stage.covers("late")
+            return await asyncio.gather(*(
+                gateway.submit("late", query) for query in late.queries
+            ))
+
+    for response in asyncio.run(serve()):
+        assert response.episode == reference[response.episode.qid]
+
+
 def test_served_results_independent_of_batch_composition(suite):
     """The same query must serve identically alone and inside a batch."""
 

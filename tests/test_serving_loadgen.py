@@ -1,0 +1,132 @@
+"""Direct unit tests for the closed-loop load generator.
+
+``loadgen`` was previously only exercised indirectly through the bench
+harness; these tests pin down workload construction, the closed-loop
+driver against a real (tiny) gateway, report arithmetic and argument
+validation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import (
+    Gateway,
+    LoadReport,
+    LoadSpec,
+    ServingConfig,
+    SessionManager,
+    make_workload,
+    run_closed_loop,
+    run_load,
+)
+from repro.suites import load_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite("edgehome", n_queries=5)
+
+
+# ----------------------------------------------------------------------
+# make_workload
+# ----------------------------------------------------------------------
+def test_make_workload_requires_a_tenant():
+    with pytest.raises(ValueError, match="at least one tenant"):
+        make_workload({}, 4)
+
+
+def test_make_workload_interleaves_tenants(suite):
+    other = load_suite("edgehome", n_queries=3)
+    workload = make_workload({"a": suite, "b": other}, 6)
+    assert len(workload) == 6
+    assert [spec.tenant for spec in workload] == ["a", "b"] * 3
+    assert workload[0].query == suite.queries[0]
+    assert workload[1].query == other.queries[0]
+    assert workload[2].query == suite.queries[1]
+
+
+def test_make_workload_wraps_around_short_suites(suite):
+    workload = make_workload({"a": suite}, len(suite.queries) + 2)
+    assert workload[len(suite.queries)].query == suite.queries[0]
+    assert workload[-1].query == suite.queries[1]
+
+
+# ----------------------------------------------------------------------
+# LoadReport arithmetic
+# ----------------------------------------------------------------------
+def test_report_throughput_and_percentiles():
+    report = LoadReport(n_requests=10, concurrency=2, wall_s=2.0,
+                        latencies_s=[0.010, 0.020, 0.030])
+    assert report.throughput_rps == pytest.approx(5.0)
+    assert report.latency_p50_ms == pytest.approx(20.0)
+    assert report.latency_p99_ms == pytest.approx(29.8)
+
+
+def test_report_zero_wall_clock_yields_zero_throughput():
+    report = LoadReport(n_requests=10, concurrency=1, wall_s=0.0)
+    assert report.throughput_rps == 0.0
+    assert report.latency_p95_ms == 0.0  # empty latency sample
+
+
+# ----------------------------------------------------------------------
+# run_closed_loop / run_load
+# ----------------------------------------------------------------------
+def test_run_closed_loop_validates_concurrency(suite):
+    async def go():
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        async with Gateway(sessions) as gateway:
+            await run_closed_loop(gateway, make_workload({"t": suite}, 2), 0)
+
+    with pytest.raises(ValueError, match="concurrency"):
+        asyncio.run(go())
+
+
+def test_run_closed_loop_serves_whole_workload(suite):
+    workload = make_workload({"t": suite}, 8)
+
+    async def go():
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        config = ServingConfig(max_batch_size=4, max_wait_ms=2.0)
+        async with Gateway(sessions, config=config) as gateway:
+            return await run_closed_loop(gateway, workload, concurrency=4)
+
+    report = asyncio.run(go())
+    assert report.n_requests == 8
+    assert report.concurrency == 4
+    assert len(report.latencies_s) == 8
+    assert all(latency >= 0.0 for latency in report.latencies_s)
+    assert report.wall_s > 0.0
+    # the workload revisits qids, so episodes dedupe to the suite's pool
+    assert set(report.episodes) <= {query.qid for query in suite.queries}
+    assert report.gateway_metrics["requests_completed"] == 8
+
+
+def test_run_load_owns_gateway_lifecycle(suite):
+    report = run_load({"t": suite}, ServingConfig(max_batch_size=2),
+                      n_requests=4, concurrency=2)
+    assert report.n_requests == 4
+    assert report.throughput_rps > 0.0
+    assert report.gateway_metrics["requests_admitted"] == 4
+
+
+def test_run_load_episodes_match_direct_submission(suite):
+    """Loadgen must not alter served results (same bitwise contract)."""
+
+    async def direct():
+        sessions = SessionManager()
+        sessions.register("t", suite)
+        async with Gateway(sessions) as gateway:
+            responses = await asyncio.gather(*(
+                gateway.submit("t", query) for query in suite.queries))
+        return {r.episode.qid: r.episode for r in responses}
+
+    want = asyncio.run(direct())
+    report = run_load({"t": suite}, ServingConfig(max_batch_size=4),
+                      n_requests=len(suite.queries), concurrency=3)
+    for qid, episode in report.episodes.items():
+        assert episode == want[qid]

@@ -1,0 +1,110 @@
+"""Seeded randomized stress test: multi-query search == stacked per-query.
+
+The batch-invariance contract underpins both the serving layer's bitwise
+guarantee and the grid runner's backend equivalence, so it gets an
+adversarial workout here: random corpora and query batches across shapes
+chosen to straddle the padded-matmul boundary (``QUERY_BLOCK == 8``),
+``k`` at and beyond the index size, single-row indexes and duplicated
+query rows — for all three index families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.vectorstore import FlatIndex, IVFIndex, PQIndex
+from repro.vectorstore.metrics import QUERY_BLOCK
+
+DIM = 24
+#: batch sizes straddling the QUERY_BLOCK=8 padding boundary
+BATCH_SIZES = [1, QUERY_BLOCK - 1, QUERY_BLOCK, QUERY_BLOCK + 1,
+               2 * QUERY_BLOCK, 2 * QUERY_BLOCK + 3]
+
+
+def _build(family: str, vectors: np.ndarray):
+    if family == "flat":
+        index = FlatIndex(dim=DIM, metric="cosine")
+        index.add(vectors)
+        return index
+    if family == "ivf":
+        # full coverage probe: every list is visited, so the candidate
+        # set (and thus the result) is shape-independent and exact
+        n_lists = min(4, vectors.shape[0])
+        index = IVFIndex(dim=DIM, metric="cosine",
+                         n_lists=n_lists, nprobe=n_lists)
+        index.add(vectors)
+        index.train()
+        return index
+    if family == "pq":
+        index = PQIndex(dim=DIM, m=4,
+                        n_centroids=max(2, min(16, vectors.shape[0])))
+        index.add(vectors)
+        index.train()
+        return index
+    raise ValueError(family)
+
+
+def _assert_batch_matches_stacked(index, queries: np.ndarray, k: int) -> None:
+    batched = index.search(queries, k)
+    assert len(batched) == queries.shape[0]
+    for row, result in enumerate(batched):
+        single = index.search_one(queries[row], k)
+        np.testing.assert_array_equal(result.ids, single.ids,
+                                      err_msg=f"row {row}, k={k}")
+        np.testing.assert_array_equal(result.scores, single.scores,
+                                      err_msg=f"row {row}, k={k}")
+
+
+@pytest.mark.parametrize("family", ["flat", "ivf", "pq"])
+@pytest.mark.parametrize("trial", range(3))
+def test_random_batches_match_per_query(family, trial):
+    rng = derive_rng("vectorstore-stress", family, trial)
+    n_vectors = int(rng.integers(5, 40))
+    vectors = rng.normal(size=(n_vectors, DIM))
+    index = _build(family, vectors)
+
+    for batch_size in BATCH_SIZES:
+        queries = rng.normal(size=(batch_size, DIM))
+        for k in (1, 3, n_vectors, n_vectors + 7):  # k >= index size too
+            _assert_batch_matches_stacked(index, queries, k)
+
+
+@pytest.mark.parametrize("family", ["flat", "ivf", "pq"])
+def test_duplicate_queries_get_identical_rows(family):
+    """The same vector must retrieve identically wherever it rides."""
+    rng = derive_rng("vectorstore-stress", "duplicates", family)
+    index = _build(family, rng.normal(size=(12, DIM)))
+    base = rng.normal(size=(3, DIM))
+    # each base query duplicated across block boundaries
+    queries = np.vstack([base, base[::-1], base[1:], base])
+    results = index.search(queries, 4)
+    by_key = {}
+    for row in range(queries.shape[0]):
+        key = queries[row].tobytes()
+        got = (results[row].ids.tolist(), results[row].scores.tobytes())
+        assert by_key.setdefault(key, got) == got, f"row {row} diverged"
+
+
+@pytest.mark.parametrize("family", ["flat", "ivf", "pq"])
+def test_single_row_index(family):
+    rng = derive_rng("vectorstore-stress", "single-row", family)
+    index = _build(family, rng.normal(size=(1, DIM)))
+    queries = rng.normal(size=(QUERY_BLOCK + 1, DIM))
+    for k in (1, 5):  # k clamps to the one stored vector
+        results = index.search(queries, k)
+        assert all(len(result) == 1 for result in results)
+        _assert_batch_matches_stacked(index, queries, k)
+
+
+@pytest.mark.parametrize("family", ["flat", "ivf", "pq"])
+def test_search_arrays_matches_search(family):
+    rng = derive_rng("vectorstore-stress", "arrays", family)
+    index = _build(family, rng.normal(size=(15, DIM)))
+    queries = rng.normal(size=(QUERY_BLOCK + 3, DIM))
+    scores, ids = index.search_arrays(queries, 4)
+    assert scores.shape == ids.shape == (queries.shape[0], 4)
+    for row, result in enumerate(index.search(queries, 4)):
+        np.testing.assert_array_equal(ids[row], result.ids)
+        np.testing.assert_array_equal(scores[row], result.scores)
