@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process bench bench-check bench-serving bench-paper
+.PHONY: test test-process examples-smoke bench bench-check bench-serving bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -13,6 +13,11 @@ test:
 test-process:
 	REPRO_PROCESS_WORKERS=2 $(PYTHON) -m pytest \
 		tests/test_runner_process.py tests/test_serving_equivalence.py -q
+
+## run the example scripts with a bounded batch (API breakage fails here)
+examples-smoke:
+	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/quickstart.py
+	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/serving_demo.py
 
 ## regenerate the committed perf baseline at the repo root
 bench:

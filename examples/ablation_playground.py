@@ -3,20 +3,22 @@
 A compact sweep over the three Controller knobs on a small GeoEngine
 batch, printing how each changes accuracy, presented-tool counts and
 latency — the same trade-offs the ablation benchmarks assert formally.
+Every variant is one typed :class:`~repro.specs.AgentSpec`; the session
+keeps the offline Search Levels and embedder cache shared across the
+whole sweep.
 
-Run:  python examples/ablation_playground.py
+Run:  PYTHONPATH=src python examples/ablation_playground.py
 """
 
 from __future__ import annotations
 
-from repro.evaluation.metrics import summarize
-from repro.evaluation.runner import ExperimentRunner
-from repro.suites import load_suite
+from repro import AgentSpec, open_session
+
+MODEL = AgentSpec(scheme="lis-k3", model="hermes2-pro-8b", quant="q4_K_M")
 
 
-def sweep(runner, label, **agent_kwargs):
-    agent = runner.make_agent("lis-k3", "hermes2-pro-8b", "q4_K_M", **agent_kwargs)
-    summary = summarize([agent.run(q) for q in runner.suite.queries])
+def sweep(session, label, spec: AgentSpec):
+    summary = session.run(spec).summary
     print(f"  {label:<22} success={summary.success_rate:>6.1%} "
           f"acc={summary.tool_accuracy:>6.1%} tools={summary.mean_tools_presented:>5.1f} "
           f"time={summary.mean_time_s:>5.1f}s levels={summary.level_histogram}")
@@ -24,24 +26,24 @@ def sweep(runner, label, **agent_kwargs):
 
 
 def main() -> None:
-    runner = ExperimentRunner(load_suite("geoengine", n_queries=40))
+    session = open_session("geoengine", n_queries=40)
 
     print("k sweep (retrieval depth):")
     for k in (1, 3, 5, 8):
-        agent = runner.make_agent(f"lis-k{k}", "hermes2-pro-8b", "q4_K_M")
-        summary = summarize([agent.run(q) for q in runner.suite.queries])
+        summary = session.run(MODEL.replace(scheme=f"lis-k{k}")).summary
         print(f"  k={k:<20} success={summary.success_rate:>6.1%} "
               f"acc={summary.tool_accuracy:>6.1%} tools={summary.mean_tools_presented:>5.1f} "
               f"time={summary.mean_time_s:>5.1f}s")
 
     print("\nconfidence threshold (Level-3 fallback cut-off):")
     for threshold in (0.0, 0.3, 0.7):
-        sweep(runner, f"tau={threshold}", confidence_threshold=threshold)
+        sweep(session, f"tau={threshold}",
+              MODEL.replace(confidence_threshold=threshold))
 
     print("\nforced Search Levels:")
     for label, level in (("auto (controller)", None), ("Level 1 only", 1),
                          ("Level 2 only", 2), ("Level 3 only", 3)):
-        sweep(runner, label, force_level=level)
+        sweep(session, label, MODEL.replace(force_level=level))
 
     print("\nTakeaways: k trades recall vs prompt size; a strict threshold "
           "collapses to the slow Level-3 path; on sequential tasks the "

@@ -6,15 +6,12 @@ Llama3.1-8b-q4_K_M on the simulated Jetson AGX Orin, showing every stage
 of the Less-is-More pipeline — recommender output, controller decision,
 chain execution — against the vanilla agent.
 
-Run:  python examples/geospatial_copilot.py
+Run:  PYTHONPATH=src python examples/geospatial_copilot.py
 """
 
 from __future__ import annotations
 
-from repro import build_agent, load_suite
-from repro.core import LessIsMoreAgent
-from repro.core.levels import SearchLevelBuilder
-from repro.llm import SimulatedLLM
+from repro import AgentSpec, open_session
 
 
 def find_vqa_query(suite):
@@ -25,22 +22,22 @@ def find_vqa_query(suite):
 
 
 def main() -> None:
-    suite = load_suite("geoengine", n_queries=120)
+    session = open_session("geoengine", n_queries=120)
+    suite = session.suite
     query = find_vqa_query(suite)
     print(f"query: {query.text}")
     print(f"gold chain: {' -> '.join(query.gold_tools)}\n")
 
-    llm = SimulatedLLM.from_registry("llama3.1-8b", "q4_K_M")
+    agent = session.build_agent(AgentSpec(scheme="lis-k3", model="llama3.1-8b",
+                                          quant="q4_K_M"))
 
     # --- stage 1: the Tool Recommender sees the query, zero tools -------
-    recommendation = llm.recommend_tools(query, suite.registry)
+    recommendation = agent.llm.recommend_tools(query, suite.registry)
     print("recommender output (the LLM's 'ideal tools'):")
     for text in recommendation.descriptions:
         print(f"  - {text}")
 
     # --- stage 2: the Controller arbitrates Search Levels --------------
-    levels = SearchLevelBuilder().build(suite)
-    agent = LessIsMoreAgent(llm=llm, suite=suite, levels=levels, k=3)
     plan = agent.plan(query)
     print(f"\ncontroller: Level {plan.level} selected, "
           f"{len(plan.tools)} of {suite.n_tools} tools forwarded, "
@@ -56,8 +53,8 @@ def main() -> None:
     print(f"  success={episode.success} time={episode.time_s:.1f}s "
           f"power={episode.avg_power_w:.1f}W")
 
-    default = build_agent("default", model="llama3.1-8b", quant="q4_K_M",
-                          suite=suite).run(query)
+    default = session.build_agent(AgentSpec(
+        scheme="default", model="llama3.1-8b", quant="q4_K_M")).run(query)
     print(f"\nvanilla agent (all {suite.n_tools} tools, 16K window): "
           f"success={default.success} time={default.time_s:.1f}s "
           f"power={default.avg_power_w:.1f}W")

@@ -1,25 +1,32 @@
 """Quickstart: run Less-is-More next to vanilla function calling.
 
-Builds the BFCL-like suite, runs ten queries through the default agent
-(all 51 tools, 16K window) and through Less-is-More (recommender +
-controller, 8K window), and prints the side-by-side outcome.
+Opens one declarative session over the BFCL-like suite, builds the
+default agent (all 51 tools, 16K window) and Less-is-More (recommender +
+controller, 8K window) from typed :class:`~repro.specs.AgentSpec`\\ s,
+and prints the side-by-side outcome.  Both agents share the session's
+embedder cache and offline Search Levels.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+(set REPRO_EXAMPLE_QUERIES to bound the batch, e.g. in CI)
 """
 
 from __future__ import annotations
 
-from repro import build_agent, build_less_is_more, load_suite
+import os
+
+from repro import AgentSpec, open_session
 
 
 def main() -> None:
-    suite = load_suite("bfcl", n_queries=10)
+    n_queries = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "10"))
+    session = open_session("bfcl", n_queries=n_queries)
+    suite = session.suite
     print(f"suite: {suite.name} | {suite.n_tools} tools | {len(suite.queries)} queries\n")
 
-    default_agent = build_agent("default", model="llama3.1-8b", quant="q4_K_M",
-                                suite=suite)
-    lis_agent = build_less_is_more(model="llama3.1-8b", quant="q4_K_M",
-                                   suite=suite, k=3)
+    default_agent = session.build_agent(AgentSpec(
+        scheme="default", model="llama3.1-8b", quant="q4_K_M"))
+    lis_agent = session.build_agent(AgentSpec(
+        scheme="lis-k3", model="llama3.1-8b", quant="q4_K_M"))
 
     header = (f"{'query':<52} {'scheme':<8} {'ok':<3} {'level':<5} "
               f"{'#tools':>6} {'time':>7} {'power':>7}")

@@ -1,37 +1,50 @@
 """Serving demo: a multi-tenant gateway micro-batching concurrent traffic.
 
-Boots the async serving gateway with two tenants (the smart-home catalog
-and the BFCL-like pool), fires a burst of concurrent requests from both,
-and prints each response alongside the gateway's telemetry — batch-size
-histogram, queue depth and latency percentiles.  Requests that arrive
-together ride the same micro-batch: their embeddings and Level-1/Level-2
-retrievals are computed by single vectorized kernel calls, yet every
-episode is identical to running that query alone.
+The whole deployment is one declarative :class:`~repro.specs.ServingSpec`
+— two tenants (the smart-home catalog and the BFCL-like pool), the
+micro-batcher knobs and a plan cache — opened through
+:func:`repro.open_session` and served with ``session.serve()``.  A burst
+of concurrent requests from both tenants is fired twice: requests that
+arrive together ride the same micro-batch (their embeddings and
+Level-1/Level-2 retrievals are computed by single vectorized kernel
+calls), and the second pass is answered from the plan cache — yet every
+episode is bitwise identical to running that query alone.
 
-Run:  python examples/serving_demo.py
+Run:  PYTHONPATH=src python examples/serving_demo.py
+(set REPRO_EXAMPLE_QUERIES to bound the burst, e.g. in CI)
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 
-from repro.serving import Gateway, ServingConfig, SessionManager
-from repro.suites import load_suite
+from repro import ServingSpec, SuiteSpec, TenantSpec, open_session
 
 
 async def main() -> None:
-    sessions = SessionManager()
-    home = sessions.register("smart-home", load_suite("edgehome", n_queries=12))
-    bfcl = sessions.register("assistant", load_suite("bfcl", n_queries=12))
-    config = ServingConfig(max_batch_size=8, max_wait_ms=5.0, queue_capacity=64)
+    burst = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "8"))
+    spec = ServingSpec(
+        tenants=(
+            TenantSpec("smart-home", SuiteSpec("edgehome", n_queries=12)),
+            TenantSpec("assistant", SuiteSpec("bfcl", n_queries=12)),
+        ),
+        max_batch_size=8, max_wait_ms=5.0, queue_capacity=64,
+        plan_cache_size=128,
+    )
+    session = open_session(spec)
 
-    async with Gateway(sessions, config=config) as gateway:
-        # a burst of concurrent traffic from both tenants
-        requests = [("smart-home", query) for query in home.suite.queries[:8]]
-        requests += [("assistant", query) for query in bfcl.suite.queries[:8]]
-        responses = await asyncio.gather(*(
-            gateway.submit(tenant, query) for tenant, query in requests
-        ))
+    async with session.serve() as gateway:
+        # a burst of concurrent traffic from both tenants, sent twice:
+        # the second round hits the plan cache
+        home = gateway.sessions.get("smart-home").suite
+        bfcl = gateway.sessions.get("assistant").suite
+        requests = [("smart-home", query) for query in home.queries[:burst]]
+        requests += [("assistant", query) for query in bfcl.queries[:burst]]
+        for _ in range(2):
+            responses = await asyncio.gather(*(
+                gateway.submit(tenant, query) for tenant, query in requests
+            ))
 
         header = (f"{'tenant':<12} {'qid':<16} {'ok':<3} {'level':<5} "
                   f"{'batch':>5} {'queued':>8} {'latency':>9}")
@@ -54,9 +67,12 @@ async def main() -> None:
         print(f"latency p50/p95/p99: {metrics['latency_p50_ms']:.1f} / "
               f"{metrics['latency_p95_ms']:.1f} / "
               f"{metrics['latency_p99_ms']:.1f} ms")
+        print(f"plan cache: {metrics['plan_cache_hits']} hits / "
+              f"{metrics['plan_cache_misses']} misses "
+              f"(hit rate {metrics['plan_cache_hit_rate']:.0%})")
         print("\nEvery episode above is bitwise identical to running the same "
               "query through the sequential ExperimentRunner — micro-batching "
-              "is a pure throughput transform.")
+              "and plan memoization are pure throughput transforms.")
 
 
 if __name__ == "__main__":

@@ -2,19 +2,21 @@
 
 The paper positions Less-is-More as "a plug-and-play solution for all
 existing state-of-the-art LLMs" — no fine-tuning, no per-domain training.
-This example demonstrates exactly that: a brand-new tool catalog (a
-smart-home assistant) and query set are defined below, the Search Levels
-are built offline in a few seconds, and the same pipeline runs unchanged.
+This example demonstrates exactly that through the plugin registries: a
+brand-new tool catalog (a smart-home assistant) and query set are defined
+below and registered with ``@register_suite("smart-home")`` — from that
+point the suite is addressable by name everywhere a built-in is
+(``open_session("smart-home")``, ``python -m repro run --suite
+smart-home``, a ``TenantSpec`` in a serving deployment), with the Search
+Levels built offline in a few seconds and the same pipeline running
+unchanged.
 
-Run:  python examples/smart_home_assistant.py
+Run:  PYTHONPATH=src python examples/smart_home_assistant.py
 """
 
 from __future__ import annotations
 
-from repro.core import LessIsMoreAgent
-from repro.core.levels import SearchLevelBuilder
-from repro.evaluation.metrics import summarize
-from repro.llm import SimulatedLLM
+from repro import AgentSpec, open_session, register_suite
 from repro.suites.base import BenchmarkSuite, Query
 from repro.tools import ToolCall, ToolParameter as P, ToolRegistry, ToolSpec as T
 
@@ -64,8 +66,15 @@ def build_smart_home_registry() -> ToolRegistry:
     ])
 
 
-def build_smart_home_suite() -> BenchmarkSuite:
-    """Queries with gold calls, including two-step evening/morning routines."""
+@register_suite("smart-home")
+def build_smart_home_suite(n_queries: int | None = None,
+                           seed: int | None = None) -> BenchmarkSuite:
+    """Queries with gold calls, including two-step evening/morning routines.
+
+    The (unused) ``n_queries``/``seed`` parameters satisfy the suite
+    registry's builder contract — this catalog is hand-written, not
+    generated.
+    """
     registry = build_smart_home_registry()
 
     def q(qid, text, category, *calls, sequential=False):
@@ -125,23 +134,24 @@ def build_smart_home_suite() -> BenchmarkSuite:
 
 
 def main() -> None:
-    suite = build_smart_home_suite()
+    # the registered name is a first-class citizen: the session loads the
+    # suite through the registry, exactly like "bfcl" or "edgehome"
+    session = open_session("smart-home")
+    suite = session.suite
     print(f"custom suite: {suite.name} | {suite.n_tools} tools | "
           f"{len(suite.queries)} queries")
 
-    levels = SearchLevelBuilder().build(suite)
+    levels = session.levels
     print(f"offline build: {levels.n_clusters} tool clusters, e.g. "
           f"{levels.clusters[0].tools}")
 
-    llm = SimulatedLLM.from_registry("qwen2-1.5b", "q4_K_M")  # a true edge model
-    agent = LessIsMoreAgent(llm=llm, suite=suite, levels=levels, k=3)
-    episodes = [agent.run(query) for query in suite.queries]
-
-    for query, episode in zip(suite.queries, episodes):
+    # a true edge model, described declaratively
+    run = session.run(AgentSpec(scheme="lis-k3", model="qwen2-1.5b",
+                                quant="q4_K_M"))
+    for query, episode in zip(suite.queries, run.episodes):
         print(f"  [{'ok' if episode.success else '--'}] L{episode.selected_level} "
               f"{episode.mean_tools_presented:>4.0f} tools | {query.text[:60]}")
-    summary = summarize(episodes)
-    print(f"\n{summary}")
+    print(f"\n{run.summary}")
     print("same pipeline, new domain — no fine-tuning, only an offline "
           "embedding pass over the new tool descriptions.")
 

@@ -30,7 +30,8 @@ sys.path.insert(0, str(REPO_ROOT / "scripts"))
 from bench_serving import bench_serving  # noqa: E402
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
-from repro.evaluation.runner import ExperimentRunner  # noqa: E402
+from repro.session import open_session  # noqa: E402
+from repro.specs import AgentSpec, GridSpec  # noqa: E402
 from repro.suites import load_suite  # noqa: E402
 from repro.vectorstore import FlatIndex, IVFIndex, PQIndex  # noqa: E402
 
@@ -105,9 +106,11 @@ def bench_search(repeats: int) -> dict:
 
 def bench_episodes(repeats: int) -> dict:
     """End-to-end Less-is-More episode throughput (recommend → plan → run)."""
-    suite = load_suite("edgehome", n_queries=16)
-    runner = ExperimentRunner(suite, embedder=CachedEmbedder())
-    agent = runner.make_agent("lis-k3", "hermes2-pro-8b", "q4_K_M")
+    session = open_session("edgehome", n_queries=16, embedder=CachedEmbedder())
+    suite = session.suite
+    agent = session.build_agent(AgentSpec(scheme="lis-k3",
+                                          model="hermes2-pro-8b",
+                                          quant="q4_K_M"))
     agent.run(suite.queries[0])  # warm caches
 
     def episode_batch():
@@ -139,11 +142,14 @@ def bench_grid(n_queries: int) -> dict:
     def run(backend, max_workers):
         """Best-of-two wall time — the same sampling policy for every
         backend, so the recorded speedups compare like with like."""
+        grid = GridSpec(schemes=tuple(GRID_SCHEMES), models=tuple(GRID_MODELS),
+                        quants=tuple(GRID_QUANTS), backend=backend,
+                        workers=max_workers)
+
         def once():
-            runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+            session = open_session(suite=suite, embedder=CachedEmbedder())
             start = time.perf_counter()
-            runner.run_grid(GRID_SCHEMES, GRID_MODELS, GRID_QUANTS,
-                            max_workers=max_workers, backend=backend)
+            session.run_grid(grid)
             return time.perf_counter() - start
         return min(once() for _ in range(2))
 

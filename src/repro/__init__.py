@@ -5,33 +5,65 @@ The package is organised as a stack of substrates (embedding, vector
 search, clustering, tools, benchmark suites, a behavioural LLM simulator
 and an edge-hardware model) with the paper's contribution — the
 Less-is-More dynamic tool-selection pipeline — implemented in
-:mod:`repro.core` on top of them.
+:mod:`repro.core` on top of them.  The public surface is declarative:
+typed specs (:mod:`repro.specs`), plugin registries
+(:mod:`repro.registry`) and the :class:`~repro.session.Session` facade.
 
 Quickstart::
 
-    from repro import build_less_is_more, load_suite
+    from repro import AgentSpec, open_session
 
-    suite = load_suite("bfcl")
-    agent = build_less_is_more(model="llama3.1-8b", quant="q4_K_M",
-                               suite=suite, k=3)
-    episode = agent.run(suite.queries[0])
+    session = open_session("bfcl", n_queries=20)
+    run = session.run(AgentSpec(scheme="lis-k3", model="llama3.1-8b",
+                                quant="q4_K_M"))
+    episode = run.episodes[0]
     print(episode.success, episode.selected_level)
+
+Every name below is imported lazily, so ``import repro`` touches none of
+the heavy submodules (numpy-backed kernels, the serving stack).
 """
 
-from repro.api import (
-    build_agent,
-    build_gateway,
-    build_less_is_more,
-    load_model,
-    load_suite,
-)
-from repro.version import __version__
+#: exported name -> (module, attribute); resolved on first attribute access
+_LAZY_EXPORTS = {
+    # the declarative Session API
+    "open_session": ("repro.session", "open_session"),
+    "Session": ("repro.session", "Session"),
+    "AgentSpec": ("repro.specs", "AgentSpec"),
+    "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
+    "GridSpec": ("repro.specs", "GridSpec"),
+    "ServingSpec": ("repro.specs", "ServingSpec"),
+    "SuiteSpec": ("repro.specs", "SuiteSpec"),
+    "TenantSpec": ("repro.specs", "TenantSpec"),
+    # plugin registries
+    "register_scheme": ("repro.registry", "register_scheme"),
+    "register_suite": ("repro.registry", "register_suite"),
+    "register_grid_backend": ("repro.registry", "register_grid_backend"),
+    "register_serving_backend": ("repro.registry", "register_serving_backend"),
+    # loaders
+    "load_suite": ("repro.api", "load_suite"),
+    "load_model": ("repro.api", "load_model"),
+    # deprecated builders (shims around the Session API)
+    "build_agent": ("repro.api", "build_agent"),
+    "build_gateway": ("repro.api", "build_gateway"),
+    "build_less_is_more": ("repro.api", "build_less_is_more"),
+    "__version__": ("repro.version", "__version__"),
+}
 
-__all__ = [
-    "__version__",
-    "build_agent",
-    "build_gateway",
-    "build_less_is_more",
-    "load_model",
-    "load_suite",
-]
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

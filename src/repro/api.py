@@ -1,16 +1,29 @@
-"""Top-level convenience constructors.
+"""Top-level convenience constructors (legacy surface).
 
-These helpers wire the full stack (suite → embedder → search levels →
-simulated LLM → hardware model → agent) with the defaults used in the
-paper's evaluation, so examples and quick experiments stay one-liners.
+``load_suite`` and ``load_model`` remain first-class helpers; the
+``build_*`` constructors predate the declarative Session API and are
+kept as thin shims — each emits a :class:`DeprecationWarning` and
+delegates to the exact machinery :func:`repro.open_session` uses, so
+old-API and new-API paths produce bitwise-identical episodes (asserted
+in ``tests/test_session_equivalence.py``).
+
+Migration::
+
+    # old                                   # new
+    build_agent(s, m, q, suite)             open_session(suite=suite).build_agent(AgentSpec(s, m, q))
+    build_less_is_more(m, q, suite, k=3)    open_session(suite=suite).build_agent(AgentSpec("lis", m, q, k=3))
+    build_gateway({"t": suite}, config)     open_session(ServingSpec(tenants=...)).serve()
+
 All imports are local so that ``import repro`` stays cheap.
 """
 
 from __future__ import annotations
 
+import warnings
+
 
 def load_suite(name: str, n_queries: int | None = None, seed: int | None = None):
-    """Load a benchmark suite by name (``"bfcl"`` or ``"geoengine"``).
+    """Load a benchmark suite by registered name (e.g. ``"bfcl"``).
 
     ``n_queries`` defaults to the paper's mini-batch size of 230.
     """
@@ -26,32 +39,54 @@ def load_model(model: str, quant: str = "q4_K_M"):
     return SimulatedLLM.from_registry(model, quant)
 
 
-def build_less_is_more(model: str, quant: str, suite, k: int = 3, **kwargs):
-    """Build a ready-to-run Less-is-More agent for ``suite``."""
-    from repro.core import LessIsMoreAgent
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; use {new} instead "
+        f"(see the README 'Public API' migration table)",
+        DeprecationWarning, stacklevel=3)
 
-    return LessIsMoreAgent.build(model=model, quant=quant, suite=suite, k=k, **kwargs)
+
+def build_less_is_more(model: str, quant: str, suite, k: int = 3, **kwargs):
+    """Deprecated: build a Less-is-More agent for ``suite``.
+
+    Use ``open_session(suite=suite).build_agent(AgentSpec("lis", model,
+    quant, k=k))``.
+    """
+    _deprecated("build_less_is_more",
+                'open_session(...).build_agent(AgentSpec("lis", ...))')
+    from repro.session import open_session
+    from repro.specs import AgentSpec
+
+    session = open_session(suite=suite)
+    return session.build_agent(
+        AgentSpec(scheme="lis", model=model, quant=quant, k=k), **kwargs)
 
 
 def build_agent(scheme: str, model: str, quant: str, suite, **kwargs):
-    """Build any evaluated agent: ``"default"``, ``"gorilla"``, ``"lis"``
-    or ``"toolllm"``.
-    """
-    from repro.baselines import build_baseline
-    from repro.core import LessIsMoreAgent
+    """Deprecated: build any registered scheme's agent.
 
-    if scheme == "lis":
-        return LessIsMoreAgent.build(model=model, quant=quant, suite=suite, **kwargs)
-    return build_baseline(scheme, model=model, quant=quant, suite=suite, **kwargs)
+    Use ``open_session(suite=suite).build_agent(AgentSpec(scheme, model,
+    quant))``.
+    """
+    _deprecated("build_agent", "open_session(...).build_agent(AgentSpec(...))")
+    from repro.session import open_session
+    from repro.specs import AgentSpec
+
+    session = open_session(suite=suite)
+    return session.build_agent(
+        AgentSpec(scheme=scheme, model=model, quant=quant), **kwargs)
 
 
 def build_gateway(suites: dict, config=None):
-    """Wire a serving gateway over ``{tenant_name: suite}`` catalogs.
+    """Deprecated: wire a serving gateway over ``{tenant_name: suite}``.
 
-    Returns an unstarted :class:`~repro.serving.Gateway`; drive it with
-    ``async with build_gateway({"home": suite}) as gw: await gw.submit(...)``.
+    Use ``open_session(ServingSpec(tenants=(...,))).serve()`` — or keep
+    the suites as objects and register them on a
+    :class:`~repro.serving.session.SessionManager` directly.
     """
-    from repro.serving import Gateway, SessionManager
+    _deprecated("build_gateway", "open_session(ServingSpec(...)).serve()")
+    from repro.serving.gateway import Gateway
+    from repro.serving.session import SessionManager
 
     sessions = SessionManager()
     for tenant, suite in suites.items():

@@ -13,23 +13,40 @@
 from repro.baselines.default_agent import DefaultAgent
 from repro.baselines.gorilla import GorillaAgent
 from repro.baselines.toolllm import ToolLLMAgent, ToolLLMMemoryError
+from repro.registry import SchemeContext, register_scheme
+
+
+@register_scheme("default")
+def _build_default(model: str, quant: str, context: SchemeContext, **kwargs):
+    from repro.llm import SimulatedLLM
+
+    llm = SimulatedLLM.from_registry(model, quant)
+    return DefaultAgent(llm=llm, suite=context.suite, **kwargs)
+
+
+@register_scheme("gorilla")
+def _build_gorilla(model: str, quant: str, context: SchemeContext, **kwargs):
+    from repro.llm import SimulatedLLM
+
+    llm = SimulatedLLM.from_registry(model, quant)
+    return GorillaAgent(llm=llm, suite=context.suite,
+                        embedder=context.embedder, **kwargs)
+
+
+@register_scheme("toolllm")
+def _build_toolllm(model: str, quant: str, context: SchemeContext, **kwargs):
+    from repro.llm import SimulatedLLM
+
+    llm = SimulatedLLM.from_registry(model, quant)
+    return ToolLLMAgent(llm=llm, suite=context.suite,
+                        embedder=context.embedder, **kwargs)
 
 
 def build_baseline(scheme: str, model: str, quant: str, suite, **kwargs):
-    """Construct a baseline agent by scheme name."""
-    from repro.llm import SimulatedLLM
+    """Construct a baseline agent by scheme name (registry-dispatched)."""
+    from repro.registry import build_scheme
 
-    agents = {
-        "default": DefaultAgent,
-        "gorilla": GorillaAgent,
-        "toolllm": ToolLLMAgent,
-    }
-    try:
-        cls = agents[scheme.lower()]
-    except KeyError:
-        raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(agents)}") from None
-    llm = SimulatedLLM.from_registry(model, quant)
-    return cls(llm=llm, suite=suite, **kwargs)
+    return build_scheme(scheme, model, quant, SchemeContext(suite=suite), **kwargs)
 
 
 __all__ = [

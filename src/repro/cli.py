@@ -8,6 +8,13 @@ Commands
 ``levels``     inspect the offline Search Levels built for a suite
 ``profile``    cost one hypothetical function-calling turn on the Orin
 
+Every evaluation command builds a typed spec (:mod:`repro.specs`) and
+drives it through one :func:`repro.open_session` session, so the CLI,
+the examples and the bench scripts all exercise the same entrypoint.
+Suite and scheme names resolve through the plugin registries — a
+third-party suite registered via :func:`repro.registry.register_suite`
+is immediately addressable as ``--suite <name>``.
+
 Examples::
 
     python -m repro run --suite bfcl --scheme lis-k3 --model llama3.1-8b
@@ -22,24 +29,34 @@ from __future__ import annotations
 
 import argparse
 
-from repro.evaluation.metrics import normalize
-from repro.evaluation.reporting import render_metric_table
-from repro.evaluation.runner import ExperimentRunner
-from repro.evaluation.stats import success_rate_ci
-from repro.suites import load_suite
+from repro.registry import GRID_BACKENDS, SUITES
+from repro.session import open_session
+from repro.specs import AgentSpec, ExperimentSpec, GridSpec, SuiteSpec
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--suite", default="bfcl", choices=["bfcl", "geoengine"])
+    parser.add_argument("--suite", default="bfcl", choices=SUITES.names())
     parser.add_argument("--model", default="llama3.1-8b")
     parser.add_argument("--quant", default="q4_K_M")
     parser.add_argument("-n", "--queries", type=int, default=60,
                         help="queries per batch (paper: 230)")
 
 
+def _session(args: argparse.Namespace, agent: AgentSpec | None = None,
+             grid: GridSpec | None = None):
+    return open_session(ExperimentSpec(
+        suite=SuiteSpec(name=args.suite, n_queries=args.queries),
+        agent=agent, grid=grid,
+    ))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
-    run = runner.run(args.scheme, args.model, args.quant)
+    from repro.evaluation.reporting import render_metric_table
+    from repro.evaluation.stats import success_rate_ci
+
+    session = _session(args, agent=AgentSpec(
+        scheme=args.scheme, model=args.model, quant=args.quant))
+    run = session.run()
     label = f"{args.scheme} {args.model}-{args.quant}"
     print(render_metric_table({label: run.summary},
                               title=f"{args.suite} | {args.queries} queries"))
@@ -51,28 +68,38 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_grid(args: argparse.Namespace) -> int:
     import time
 
-    schemes = [s for s in args.schemes.split(",") if s]
-    models = [m for m in (args.models or args.model).split(",") if m]
-    quants = [q for q in (args.quants or args.quant).split(",") if q]
-    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
+    from repro.evaluation.reporting import render_metric_table
+
+    grid = GridSpec(
+        schemes=args.schemes,
+        models=args.models or args.model,
+        quants=args.quants or args.quant,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    session = _session(args, grid=grid)
     start = time.perf_counter()
-    results = runner.run_grid(schemes, models, quants,
-                              max_workers=args.workers, backend=args.backend)
+    results = session.run_grid()
     wall_s = time.perf_counter() - start
     print(render_metric_table(
         {f"{scheme} {model}-{quant}": run.summary
          for (scheme, model, quant), run in results.items()},
         title=(f"{args.suite} | {len(results)} cells | {args.queries} queries | "
-               f"{args.backend} backend")))
+               f"{grid.backend} backend")))
     print(f"{len(results)} cells in {wall_s:.2f}s "
-          f"({args.backend}, workers={args.workers or 'auto'})")
+          f"({grid.backend}, workers={grid.workers or 'auto'})")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(load_suite(args.suite, n_queries=args.queries))
+    from repro.evaluation.metrics import normalize
+    from repro.evaluation.reporting import render_metric_table
+
+    session = _session(args)
     schemes = ["default", "gorilla", "lis-k3", "lis-k5"]
-    runs = {scheme: runner.run(scheme, args.model, args.quant) for scheme in schemes}
+    runs = {scheme: session.run(AgentSpec(
+                scheme=scheme, model=args.model, quant=args.quant))
+            for scheme in schemes}
     print(render_metric_table(
         {scheme: run.summary for scheme, run in runs.items()},
         title=f"{args.suite} | {args.model}-{args.quant} | {args.queries} queries"))
@@ -85,10 +112,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_levels(args: argparse.Namespace) -> int:
-    from repro.core.levels import SearchLevelBuilder
-
-    suite = load_suite(args.suite, n_queries=args.queries)
-    levels = SearchLevelBuilder().build(suite)
+    session = _session(args)
+    suite, levels = session.suite, session.levels
     print(f"{suite.name}: {suite.n_tools} tools -> Level 1 index "
           f"({len(levels.tool_index)} vectors), Level 2 "
           f"({levels.n_clusters} clusters)")
@@ -142,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="comma-separated quantizations "
                                   "(default: the --quant value)")
     grid_parser.add_argument("--backend", default="thread",
-                             choices=["sequential", "thread", "process"],
+                             choices=GRID_BACKENDS.names(),
                              help="worker pool type (process scales the "
                                   "GIL-bound episode loop across cores)")
     grid_parser.add_argument("--workers", type=int, default=None,

@@ -17,6 +17,7 @@ from repro.core.levels import SearchLevelBuilder, SearchLevels
 from repro.embedding.cache import CachedEmbedder, shared_embedder
 from repro.hardware import JETSON_AGX_ORIN, DeviceProfile
 from repro.llm import SimulatedLLM
+from repro.registry import SchemeContext, register_scheme
 from repro.suites.base import BenchmarkSuite, Query
 from repro.utils.vectorops import blend_and_normalize
 
@@ -152,3 +153,18 @@ class LessIsMoreAgent(FunctionCallingAgent):
                 pre_usages=[recommendation.usage],
             ))
         return plans
+
+
+@register_scheme("lis")
+def _build_lis(model: str, quant: str, context: SchemeContext,
+               k: int = 3, **kwargs):
+    """Scheme-registry factory for the Less-is-More pipeline.
+
+    Search Levels and the embedder come from the context, so agents
+    built through a shared runner/session reuse one offline index across
+    the whole grid (the paper's one-time offline step).
+    """
+    llm = SimulatedLLM.from_registry(model, quant)
+    embedder = context.embedder if context.embedder is not None else shared_embedder()
+    return LessIsMoreAgent(llm=llm, suite=context.suite, levels=context.levels,
+                           k=k, embedder=embedder, **kwargs)

@@ -6,13 +6,18 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.baselines import DefaultAgent, GorillaAgent
+import repro.baselines  # noqa: F401 - registers the baseline schemes
+import repro.core.pipeline  # noqa: F401 - registers the "lis" scheme
 from repro.core.episode import EpisodeResult
 from repro.core.levels import SearchLevelBuilder, SearchLevels
-from repro.core.pipeline import LessIsMoreAgent
 from repro.embedding.cache import CachedEmbedder, shared_embedder
 from repro.evaluation.metrics import MetricSummary, summarize
-from repro.llm import SimulatedLLM
+from repro.registry import (
+    GRID_BACKENDS,
+    SchemeContext,
+    build_scheme,
+    register_grid_backend,
+)
 from repro.suites.base import BenchmarkSuite
 
 
@@ -54,25 +59,18 @@ class ExperimentRunner:
     # agent construction
     # ------------------------------------------------------------------
     def make_agent(self, scheme: str, model: str, quant: str, **kwargs):
-        """Build an agent for one grid cell.
+        """Build an agent for one grid cell through the scheme registry.
 
-        Scheme names: ``default``, ``gorilla``, ``lis`` (alias
-        ``lis-k3``), ``lis-k5``, or any ``lis-k<N>``.
+        Built-in scheme names: ``default``, ``gorilla``, ``toolllm``,
+        ``lis`` (alias ``lis-k3``), or any parameterized ``lis-k<N>``;
+        schemes added via :func:`repro.registry.register_scheme` resolve
+        identically.  The factory receives this runner's suite, shared
+        embedder and lazily-built Search Levels, so every cell of a grid
+        reuses one offline index.
         """
-        llm = SimulatedLLM.from_registry(model, quant)
-        scheme = scheme.lower()
-        if scheme == "default":
-            return DefaultAgent(llm=llm, suite=self.suite, **kwargs)
-        if scheme == "gorilla":
-            return GorillaAgent(llm=llm, suite=self.suite,
-                                embedder=self.embedder, **kwargs)
-        if scheme.startswith("lis"):
-            k = 3
-            if "-k" in scheme:
-                k = int(scheme.split("-k", 1)[1])
-            return LessIsMoreAgent(llm=llm, suite=self.suite, levels=self.levels,
-                                   k=k, embedder=self.embedder, **kwargs)
-        raise ValueError(f"unknown scheme {scheme!r}")
+        context = SchemeContext(suite=self.suite, embedder=self.embedder,
+                                levels_fn=lambda: self.levels)
+        return build_scheme(scheme, model, quant, context, **kwargs)
 
     # ------------------------------------------------------------------
     # execution
@@ -121,11 +119,12 @@ class ExperimentRunner:
         of) it; every episode draws from named RNG streams, so results
         are bitwise identical to a sequential run regardless of backend
         or scheduling.
+
+        Backends are plugin-dispatched: anything added via
+        :func:`repro.registry.register_grid_backend` is selectable here
+        by name.
         """
-        if backend not in ("sequential", "thread", "process"):
-            raise ValueError(
-                f"unknown backend {backend!r}; choose 'sequential', 'thread' "
-                f"or 'process'")
+        backend_fn = GRID_BACKENDS.get(backend)
         cells = [(scheme, model, quant)
                  for model in models for quant in quants for scheme in schemes]
         # shared offline state, built exactly once outside the pool
@@ -133,14 +132,11 @@ class ExperimentRunner:
         self.embedder.encode(self.suite.registry.descriptions())
         if max_workers is None:
             max_workers = min(len(cells), os.cpu_count() or 1)
-        if backend == "sequential" or max_workers <= 1 or len(cells) <= 1:
-            runs = [self.run(*cell, n_queries=n_queries) for cell in cells]
-        elif backend == "process":
-            runs = self._run_grid_process(cells, n_queries, max_workers)
-        else:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                runs = list(pool.map(
-                    lambda cell: self.run(*cell, n_queries=n_queries), cells))
+        if max_workers <= 1 or len(cells) <= 1:
+            # no parallelism to extract — every backend degenerates to
+            # the in-process serial loop
+            backend_fn = GRID_BACKENDS.get("sequential")
+        runs = backend_fn(self, cells, n_queries, max_workers)
         return {run.key: run for run in runs}
 
     def _run_grid_process(self, cells, n_queries, max_workers) -> list[EvaluationRun]:
@@ -167,6 +163,29 @@ class ExperimentRunner:
                     by_cell[run.key] = run
         # deterministic ordering regardless of which worker finished first
         return [by_cell[cell] for cell in cells]
+
+
+@register_grid_backend("sequential")
+def _grid_sequential(runner: ExperimentRunner, cells, n_queries,
+                     max_workers) -> list[EvaluationRun]:
+    """Explicit in-process serial execution."""
+    return [runner.run(*cell, n_queries=n_queries) for cell in cells]
+
+
+@register_grid_backend("thread")
+def _grid_thread(runner: ExperimentRunner, cells, n_queries,
+                 max_workers) -> list[EvaluationRun]:
+    """Thread pool over shared state (no serialization cost)."""
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(
+            lambda cell: runner.run(*cell, n_queries=n_queries), cells))
+
+
+@register_grid_backend("process")
+def _grid_process(runner: ExperimentRunner, cells, n_queries,
+                  max_workers) -> list[EvaluationRun]:
+    """Process pool — the only backend that scales the episode loop."""
+    return runner._run_grid_process(cells, n_queries, max_workers)
 
 
 def _run_grid_chunk(runner: ExperimentRunner, cells, n_queries):

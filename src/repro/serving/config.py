@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.registry import SERVING_BACKENDS, register_serving_backend
+
 
 @dataclass(frozen=True)
 class ServingConfig:
@@ -27,15 +29,25 @@ class ServingConfig:
     default_scheme / default_model / default_quant:
         Agent grid cell used for requests that do not specify one.
     execution_backend:
-        Where the post-planning episode loop of a flushed batch runs:
-        ``"thread"`` (default) keeps it on the gateway's batch worker;
-        ``"process"`` fans it out across a pool of worker processes
+        Where the post-planning episode loop of a flushed batch runs.
+        Resolved through the serving-backend registry
+        (:data:`repro.registry.SERVING_BACKENDS`): ``"thread"`` (default)
+        keeps it on the gateway's batch worker; ``"process"`` fans it out
+        across a pool of worker processes
         (:class:`~repro.serving.process.ProcessEpisodeExecutor`) —
         planning stays batched in the parent either way, and served
         results are bitwise identical across backends.
     execution_workers:
         Process count for the ``"process"`` backend (default: one per
         CPU).  Ignored by the thread backend.
+    plan_cache_size:
+        When > 0, memoize up to this many ``(tenant, query, scheme,
+        model, quant) -> plan`` results in an LRU cache, so a repeated
+        identical request skips the recommender + retrieval stage
+        entirely.  Plans are deterministic per query, so cached replies
+        are bitwise identical to freshly planned ones.  0 (the default)
+        disables memoization; hit/miss counts surface in
+        :meth:`~repro.serving.telemetry.Telemetry.snapshot`.
     """
 
     max_batch_size: int = 32
@@ -46,6 +58,7 @@ class ServingConfig:
     default_quant: str = "q4_K_M"
     execution_backend: str = "thread"
     execution_workers: int | None = None
+    plan_cache_size: int = 0
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -54,14 +67,24 @@ class ServingConfig:
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
         if self.queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
-        if self.execution_backend not in ("thread", "process"):
+        if self.execution_backend not in SERVING_BACKENDS:
             raise ValueError(
-                f"execution_backend must be 'thread' or 'process', "
-                f"got {self.execution_backend!r}")
+                f"unknown execution_backend {self.execution_backend!r}; "
+                f"registered serving execution backends: "
+                f"{', '.join(SERVING_BACKENDS.names())}")
         if self.execution_workers is not None and self.execution_workers < 1:
             raise ValueError(
                 f"execution_workers must be >= 1, got {self.execution_workers}")
+        if self.plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
 
     @property
     def max_wait_s(self) -> float:
         return self.max_wait_ms / 1e3
+
+
+@register_serving_backend("thread")
+def _thread_stage(config: ServingConfig) -> None:
+    """Inline execution on the gateway's batch worker (no stage object)."""
+    return None

@@ -12,14 +12,15 @@ identical to running the same query through the sequential
 
 from __future__ import annotations
 
-import asyncio
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.episode import EpisodeResult
+from repro.registry import SERVING_BACKENDS
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
-from repro.serving.process import ProcessEpisodeExecutor
 from repro.serving.session import SessionManager
 from repro.serving.telemetry import Telemetry
 from repro.suites.base import Query
@@ -33,6 +34,53 @@ class WorkItem:
     scheme: str
     model: str
     quant: str
+
+
+class _PlanCache:
+    """Bounded LRU of ``(tenant, qid, query text, cell) -> ToolPlan``.
+
+    Plans are deterministic per query — the recommender, the embedder
+    and the batch-invariant retrieval kernels all draw from named
+    streams — so replaying a memoized plan yields an episode bitwise
+    identical to re-planning (asserted in
+    ``tests/test_serving_plan_cache.py``).  The query *text* rides in
+    the key alongside the qid so a tenant re-registered with different
+    content cannot alias a stale plan.
+
+    Lock-protected: lookups run on the batch worker while ``clear`` may
+    be called from anywhere.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(tenant: str, query: Query, scheme: str, model: str, quant: str) -> tuple:
+        return (tenant, query.qid, query.text, scheme, model, quant)
+
+    def get(self, key: tuple):
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+            return plan
+
+    def put(self, key: tuple, plan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass
@@ -75,7 +123,9 @@ class Gateway:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.scheduler = BatchScheduler(self._process_batch, self.config,
                                         telemetry=self.telemetry)
-        self._process_stage: ProcessEpisodeExecutor | None = None
+        self._process_stage = None
+        self._plan_cache = (_PlanCache(self.config.plan_cache_size)
+                            if self.config.plan_cache_size > 0 else None)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -85,13 +135,13 @@ class Gateway:
         self.sessions.warm_all(self.config.default_scheme,
                                self.config.default_model,
                                self.config.default_quant)
-        if self.config.execution_backend == "process":
+        stage_factory = SERVING_BACKENDS.get(self.config.execution_backend)
+        self._process_stage = stage_factory(self.config)
+        if self._process_stage is not None:
             # prime the worker pool with each tenant's warmed runner
             # (suite + Search Levels + embedder snapshot) *before* the
             # scheduler starts, so all process spawning happens while
             # only this coroutine is active
-            self._process_stage = ProcessEpisodeExecutor(
-                workers=self.config.execution_workers)
             self._process_stage.start({
                 name: self.sessions.get(name).runner
                 for name in self.sessions.tenant_names
@@ -185,7 +235,8 @@ class Gateway:
             try:
                 agent = self.sessions.get(tenant).agent_for(scheme, model, quant)
                 queries = [batch[position].payload.query for position in positions]
-                plans = agent.plan_batch(queries)
+                plans = self._plan_group(agent, tenant, scheme, model, quant,
+                                         queries)
                 stage = self._process_stage
                 if stage is not None and stage.covers(tenant):
                     episodes = stage.execute(tenant, scheme, model, quant,
@@ -206,3 +257,29 @@ class Gateway:
                     if responses[position] is None:
                         responses[position] = exc
         return responses
+
+    def _plan_group(self, agent, tenant: str, scheme: str, model: str,
+                    quant: str, queries: list[Query]) -> list:
+        """Plan one (tenant, cell) group, serving repeats from the cache.
+
+        With ``plan_cache_size=0`` this is exactly ``agent.plan_batch``.
+        Otherwise cached queries skip planning and only the misses ride
+        the vectorized ``plan_batch`` pass — the kernels are
+        batch-invariant, so planning a sub-batch produces the same plans
+        the full batch would have.
+        """
+        cache = self._plan_cache
+        if cache is None:
+            return agent.plan_batch(queries)
+        keys = [cache.key(tenant, query, scheme, model, quant)
+                for query in queries]
+        plans: list = [cache.get(key) for key in keys]
+        for plan in plans:
+            self.telemetry.record_plan_lookup(hit=plan is not None)
+        misses = [index for index, plan in enumerate(plans) if plan is None]
+        if misses:
+            fresh = agent.plan_batch([queries[index] for index in misses])
+            for index, plan in zip(misses, fresh):
+                plans[index] = plan
+                cache.put(keys[index], plan)
+        return plans

@@ -27,7 +27,14 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.episode import EpisodeResult
 from repro.evaluation.runner import ExperimentRunner
+from repro.registry import register_serving_backend
 from repro.suites.base import Query
+
+
+@register_serving_backend("process")
+def _process_stage(config) -> "ProcessEpisodeExecutor":
+    """Serving-backend registry factory for the process pool stage."""
+    return ProcessEpisodeExecutor(workers=config.execution_workers)
 
 
 class ProcessEpisodeExecutor:

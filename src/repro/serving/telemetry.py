@@ -76,6 +76,8 @@ class Telemetry:
         self._batch_sizes: Counter[int] = Counter()
         self._queue_depths = _Ring(max_samples)
         self._latencies_s = _Ring(max_samples)
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -95,6 +97,14 @@ class Telemetry:
         """One micro-batch cut and dispatched."""
         with self._lock:
             self._batch_sizes[int(batch_size)] += 1
+
+    def record_plan_lookup(self, hit: bool) -> None:
+        """One plan-cache probe (only recorded when the cache is enabled)."""
+        with self._lock:
+            if hit:
+                self._plan_cache_hits += 1
+            else:
+                self._plan_cache_misses += 1
 
     def record_completion(self, latency_s: float, ok: bool = True) -> None:
         """One request finished (``latency_s`` is submit-to-response)."""
@@ -116,7 +126,9 @@ class Telemetry:
             sizes = dict(sorted(self._batch_sizes.items()))
             admitted, rejected = self._admitted, self._rejected
             completed, failed = self._completed, self._failed
+            plan_hits, plan_misses = self._plan_cache_hits, self._plan_cache_misses
         n_batches = sum(sizes.values())
+        plan_lookups = plan_hits + plan_misses
         n_batched = sum(size * count for size, count in sizes.items())
         return {
             "requests_admitted": admitted,
@@ -134,4 +146,8 @@ class Telemetry:
             "latency_p99_ms": percentile(latencies, 99.0) * 1e3,
             "latency_mean_ms": (sum(latencies) / len(latencies) * 1e3
                                 if latencies else 0.0),
+            "plan_cache_hits": plan_hits,
+            "plan_cache_misses": plan_misses,
+            "plan_cache_hit_rate": (plan_hits / plan_lookups
+                                    if plan_lookups else 0.0),
         }

@@ -1,0 +1,325 @@
+"""Typed, declarative experiment specs — the public configuration layer.
+
+Every way of driving this repo — a single evaluation batch, a scheme x
+model x quant grid, or the multi-tenant serving gateway — is described
+by one of the frozen dataclasses below and executed through
+:func:`repro.session.open_session`.  Specs are:
+
+* **validated** at construction (fail fast, before any heavy work);
+* **serializable** — ``to_dict()`` produces a plain JSON-compatible
+  dict and ``from_dict()`` reconstructs an equal spec, nested specs
+  included;
+* **picklable** — they cross the process-pool boundary untouched
+  (they hold only strings, numbers and tuples; see the pickling
+  boundary notes in ROADMAP.md).
+
+This module imports nothing heavy, so ``from repro import AgentSpec``
+stays cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert a spec field value to plain JSON-able data."""
+    if isinstance(value, _SpecBase):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class _SpecBase:
+    """Shared ``to_dict``/``from_dict`` machinery for all specs."""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested specs become nested dicts)."""
+        return {f.name: _encode(getattr(self, f.name))
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_SpecBase":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys raise ``TypeError`` (the dataclass constructor's
+        own error), so stale serialized specs fail loudly.
+        """
+        return cls(**data)
+
+    def replace(self, **changes):
+        """A modified copy (frozen specs are edited by replacement)."""
+        return dataclasses.replace(self, **changes)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _as_tuple(value) -> tuple:
+    if isinstance(value, str):
+        return tuple(part for part in value.split(",") if part)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class SuiteSpec(_SpecBase):
+    """Which benchmark suite to load, and how big a query pool.
+
+    ``name`` resolves through the suite registry
+    (:data:`repro.registry.SUITES`), so registered third-party suites
+    work everywhere built-ins do.  ``n_queries``/``seed`` default to the
+    builder's own defaults (the paper's 230-query mini-batch, seed 0).
+    """
+
+    name: str
+    n_queries: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self):
+        _require(bool(self.name), "SuiteSpec.name must be a non-empty string")
+        _require(self.n_queries is None or self.n_queries >= 1,
+                 f"SuiteSpec.n_queries must be >= 1, got {self.n_queries}")
+
+    def load(self):
+        """Build the suite through the registry."""
+        from repro.suites import load_suite
+
+        return load_suite(self.name, n_queries=self.n_queries, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class AgentSpec(_SpecBase):
+    """One agent grid cell: scheme x model x quant, plus scheme knobs.
+
+    ``scheme`` resolves through the scheme registry — ``default``,
+    ``gorilla``, ``toolllm``, ``lis`` and the parameterized
+    ``lis-k<N>`` forms out of the box.  The optional knobs are forwarded
+    to the scheme factory only when set, so a spec carrying just
+    ``(scheme, model, quant)`` builds every scheme with its own
+    defaults; knobs a scheme does not accept raise its constructor's
+    ``TypeError``.
+    """
+
+    scheme: str = "lis-k3"
+    model: str = "llama3.1-8b"
+    quant: str = "q4_K_M"
+    k: int | None = None
+    confidence_threshold: float | None = None
+    force_level: int | None = None
+    context_window: int | None = None
+
+    def __post_init__(self):
+        _require(bool(self.scheme), "AgentSpec.scheme must be a non-empty string")
+        _require(bool(self.model), "AgentSpec.model must be a non-empty string")
+        _require(bool(self.quant), "AgentSpec.quant must be a non-empty string")
+        _require(self.k is None or self.k >= 1,
+                 f"AgentSpec.k must be >= 1, got {self.k}")
+        _require(self.force_level is None or self.force_level in (1, 2, 3),
+                 f"AgentSpec.force_level must be 1, 2 or 3, got {self.force_level}")
+        _require(self.context_window is None or self.context_window >= 1024,
+                 f"AgentSpec.context_window must be >= 1024, "
+                 f"got {self.context_window}")
+
+    def agent_kwargs(self) -> dict:
+        """The scheme-factory kwargs this spec pins (unset knobs omitted)."""
+        kwargs = {}
+        for name in ("k", "confidence_threshold", "force_level", "context_window"):
+            value = getattr(self, name)
+            if value is not None:
+                kwargs[name] = value
+        return kwargs
+
+
+@dataclass(frozen=True)
+class GridSpec(_SpecBase):
+    """A scheme x model x quant sweep and how to execute it.
+
+    Axis fields accept any iterable of names (or a comma-separated
+    string) and normalize to tuples so the spec stays hashable and
+    picklable.  ``backend`` resolves through the grid-backend registry
+    (``sequential`` | ``thread`` | ``process`` built in).
+    """
+
+    schemes: tuple[str, ...] = ("default", "gorilla", "lis-k3")
+    models: tuple[str, ...] = ("llama3.1-8b",)
+    quants: tuple[str, ...] = ("q4_K_M",)
+    backend: str = "thread"
+    workers: int | None = None
+    n_queries: int | None = None
+
+    def __post_init__(self):
+        for axis in ("schemes", "models", "quants"):
+            object.__setattr__(self, axis, _as_tuple(getattr(self, axis)))
+            _require(bool(getattr(self, axis)),
+                     f"GridSpec.{axis} must name at least one entry")
+        _require(bool(self.backend), "GridSpec.backend must be a non-empty string")
+        _require(self.workers is None or self.workers >= 1,
+                 f"GridSpec.workers must be >= 1, got {self.workers}")
+        _require(self.n_queries is None or self.n_queries >= 1,
+                 f"GridSpec.n_queries must be >= 1, got {self.n_queries}")
+
+    @property
+    def cells(self) -> tuple[tuple[str, str, str], ...]:
+        """Every (scheme, model, quant) cell, in execution order."""
+        return tuple((scheme, model, quant)
+                     for model in self.models
+                     for quant in self.quants
+                     for scheme in self.schemes)
+
+
+@dataclass(frozen=True)
+class TenantSpec(_SpecBase):
+    """One serving tenant: a name bound to a suite (= tool catalog)."""
+
+    name: str
+    suite: SuiteSpec
+
+    def __post_init__(self):
+        _require(bool(self.name), "TenantSpec.name must be a non-empty string")
+        if isinstance(self.suite, str):
+            object.__setattr__(self, "suite", SuiteSpec(self.suite))
+        elif isinstance(self.suite, dict):
+            object.__setattr__(self, "suite", SuiteSpec.from_dict(self.suite))
+        _require(isinstance(self.suite, SuiteSpec),
+                 f"TenantSpec.suite must be a SuiteSpec, got {type(self.suite).__name__}")
+
+
+@dataclass(frozen=True)
+class ServingSpec(_SpecBase):
+    """Declarative gateway configuration: tenants + batching + execution.
+
+    The batching/backend fields mirror
+    :class:`repro.serving.config.ServingConfig` (see its docstring for
+    the tuning guidance); :meth:`to_config` converts.  ``plan_cache_size``
+    enables plan-result memoization: up to N ``(tenant, query, scheme,
+    model, quant) -> ToolPlan`` entries are reused across requests,
+    skipping the recommender + retrieval stage for repeated traffic
+    (cached replies are bitwise identical — plans are deterministic per
+    query).
+    """
+
+    tenants: tuple[TenantSpec, ...] = ()
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 256
+    default_scheme: str = "lis-k3"
+    default_model: str = "hermes2-pro-8b"
+    default_quant: str = "q4_K_M"
+    execution_backend: str = "thread"
+    execution_workers: int | None = None
+    plan_cache_size: int = 0
+
+    def __post_init__(self):
+        tenants = tuple(
+            TenantSpec.from_dict(t) if isinstance(t, dict) else t
+            for t in self.tenants)
+        object.__setattr__(self, "tenants", tenants)
+        for tenant in tenants:
+            _require(isinstance(tenant, TenantSpec),
+                     f"ServingSpec.tenants entries must be TenantSpec, "
+                     f"got {type(tenant).__name__}")
+        names = [tenant.name for tenant in tenants]
+        _require(len(names) == len(set(names)),
+                 f"ServingSpec.tenants names must be unique, got {names}")
+        # mirror ServingConfig's validation (keep the two in sync) rather
+        # than calling to_config(): constructing a spec must stay cheap —
+        # importing repro.serving here would drag in the whole stack
+        _require(self.max_batch_size >= 1,
+                 f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        _require(self.max_wait_ms >= 0.0,
+                 f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        _require(self.queue_capacity >= 1,
+                 f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        for field_name in ("default_scheme", "default_model", "default_quant"):
+            _require(bool(getattr(self, field_name)),
+                     f"ServingSpec.{field_name} must be a non-empty string")
+        from repro.registry import SERVING_BACKENDS
+
+        # membership against declared builtin names is import-free; only
+        # an unknown name loads the backend modules to report the full list
+        if self.execution_backend not in SERVING_BACKENDS:
+            raise ValueError(
+                f"unknown execution_backend {self.execution_backend!r}; "
+                f"registered serving execution backends: "
+                f"{', '.join(SERVING_BACKENDS.names())}")
+        _require(self.execution_workers is None or self.execution_workers >= 1,
+                 f"execution_workers must be >= 1, got {self.execution_workers}")
+        _require(self.plan_cache_size >= 0,
+                 f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
+
+    def to_config(self):
+        """The runtime :class:`ServingConfig` equivalent of this spec."""
+        from repro.serving.config import ServingConfig
+
+        return ServingConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            queue_capacity=self.queue_capacity,
+            default_scheme=self.default_scheme,
+            default_model=self.default_model,
+            default_quant=self.default_quant,
+            execution_backend=self.execution_backend,
+            execution_workers=self.execution_workers,
+            plan_cache_size=self.plan_cache_size,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingSpec":
+        data = dict(data)
+        data["tenants"] = tuple(
+            TenantSpec.from_dict(t) if isinstance(t, dict) else t
+            for t in data.get("tenants", ()))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec(_SpecBase):
+    """The composite spec: suite + default agent + optional grid/serving.
+
+    Everything is optional so a spec can describe exactly one facet —
+    ``ExperimentSpec(suite=...)`` for interactive runs,
+    ``ExperimentSpec(serving=...)`` for a gateway — but at least one of
+    ``suite`` or ``serving`` must be present.
+    """
+
+    suite: SuiteSpec | None = None
+    agent: AgentSpec | None = None
+    grid: GridSpec | None = None
+    serving: ServingSpec | None = None
+
+    def __post_init__(self):
+        conversions = (("suite", SuiteSpec), ("agent", AgentSpec),
+                       ("grid", GridSpec), ("serving", ServingSpec))
+        for name, spec_cls in conversions:
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                object.__setattr__(self, name, spec_cls.from_dict(value))
+            elif name == "suite" and isinstance(value, str):
+                object.__setattr__(self, name, SuiteSpec(value))
+            value = getattr(self, name)
+            _require(value is None or isinstance(value, spec_cls),
+                     f"ExperimentSpec.{name} must be a {spec_cls.__name__}, "
+                     f"got {type(value).__name__}")
+        _require(self.suite is not None or self.serving is not None,
+                 "ExperimentSpec needs a suite (for run/run_grid) or a "
+                 "serving spec (for serve)")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(**data)
+
+
+__all__ = [
+    "AgentSpec",
+    "ExperimentSpec",
+    "GridSpec",
+    "ServingSpec",
+    "SuiteSpec",
+    "TenantSpec",
+]

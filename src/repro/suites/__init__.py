@@ -12,23 +12,25 @@ Both generate deterministic query pools with gold tool calls, split into
 paper) and ``eval`` (the 230-query mini-batches the paper reports on).
 """
 
+from repro.registry import SUITES, register_suite
 from repro.suites.base import BenchmarkSuite, Query
 from repro.suites.bfcl import build_bfcl_suite
 from repro.suites.edgehome import build_edgehome_suite
 from repro.suites.geoengine import build_geoengine_suite
 
+register_suite("bfcl", build_bfcl_suite)
+register_suite("geoengine", build_geoengine_suite)
+register_suite("edgehome", build_edgehome_suite)
+
 
 def load_suite(name: str, n_queries: int | None = None, seed: int | None = None) -> BenchmarkSuite:
-    """Load a suite by name (``"bfcl"`` | ``"geoengine"`` | ``"edgehome"``).
+    """Load a suite by name through the suite registry.
 
-    ``n_queries`` defaults to the paper's mini-batch size (230).
+    Built-ins: ``"bfcl"`` | ``"geoengine"`` | ``"edgehome"``; anything
+    added via :func:`repro.registry.register_suite` resolves the same
+    way.  ``n_queries`` defaults to the paper's mini-batch size (230).
     """
-    builders = {"bfcl": build_bfcl_suite, "geoengine": build_geoengine_suite,
-                "edgehome": build_edgehome_suite}
-    try:
-        builder = builders[name.lower()]
-    except KeyError:
-        raise ValueError(f"unknown suite {name!r}; choose from {sorted(builders)}") from None
+    builder = SUITES.get(name)
     kwargs = {}
     if n_queries is not None:
         kwargs["n_queries"] = n_queries

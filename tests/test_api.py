@@ -28,26 +28,31 @@ class TestLoadModel:
 
 
 class TestBuildAgents:
+    """The legacy builders keep working (as deprecation shims)."""
+
     @pytest.fixture(scope="class")
     def suite(self):
         return load_suite("bfcl", n_queries=4)
 
     def test_build_less_is_more(self, suite):
-        agent = build_less_is_more("llama3.1-8b", "q4_0", suite, k=5)
+        with pytest.deprecated_call():
+            agent = build_less_is_more("llama3.1-8b", "q4_0", suite, k=5)
         assert agent.scheme == "lis"
         assert agent.k == 5
 
     def test_build_agent_schemes(self, suite):
         for scheme in ("default", "gorilla", "toolllm", "lis"):
-            agent = build_agent(scheme, "qwen2-7b", "q4_0", suite)
+            with pytest.deprecated_call():
+                agent = build_agent(scheme, "qwen2-7b", "q4_0", suite)
             assert agent.scheme in ("default", "gorilla", "toolllm", "lis")
 
     def test_build_agent_unknown(self, suite):
-        with pytest.raises(ValueError):
+        with pytest.deprecated_call(), pytest.raises(ValueError):
             build_agent("react", "qwen2-7b", "q4_0", suite)
 
     def test_episode_round_trip(self, suite):
-        agent = build_less_is_more("qwen2-7b", "q4_K_M", suite)
+        with pytest.deprecated_call():
+            agent = build_less_is_more("qwen2-7b", "q4_K_M", suite)
         episode = agent.run(suite.queries[0])
         assert episode.qid == suite.queries[0].qid
 

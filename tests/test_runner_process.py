@@ -68,7 +68,7 @@ def test_process_grid_merges_worker_caches(suite):
 
 def test_unknown_backend_rejected(suite):
     runner = ExperimentRunner(suite, embedder=CachedEmbedder())
-    with pytest.raises(ValueError, match="unknown backend"):
+    with pytest.raises(ValueError, match="unknown grid backend 'gpu'.*process"):
         runner.run_grid(SCHEMES, MODELS, QUANTS, backend="gpu")
 
 

@@ -1,0 +1,85 @@
+"""Old API vs Session API: bitwise-identical episodes, working shims.
+
+The legacy ``build_*`` helpers are deprecation shims over the exact
+machinery :func:`repro.open_session` drives, so for every scheme a full
+edgehome grid cell run through the old path must equal — field for
+field, float for float — the same cell run through a fresh Session.
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    AgentSpec,
+    build_agent,
+    build_gateway,
+    build_less_is_more,
+    load_suite,
+    open_session,
+)
+
+MODEL, QUANT = "hermes2-pro-8b", "q4_K_M"
+N_QUERIES = 8
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite("edgehome", n_queries=N_QUERIES)
+
+
+def legacy_episodes(scheme, suite):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        if scheme.startswith("lis"):
+            k = int(scheme.split("-k", 1)[1]) if "-k" in scheme else 3
+            agent = build_less_is_more(MODEL, QUANT, suite, k=k)
+        else:
+            agent = build_agent(scheme, MODEL, QUANT, suite)
+    return [agent.run(query) for query in suite.queries]
+
+
+@pytest.mark.parametrize("scheme", ["default", "gorilla", "lis-k3", "lis-k5"])
+def test_legacy_and_session_paths_bitwise_identical(scheme, suite):
+    old = legacy_episodes(scheme, suite)
+    new = open_session(suite=suite).run(
+        AgentSpec(scheme=scheme, model=MODEL, quant=QUANT)).episodes
+    assert len(old) == len(new) == N_QUERIES
+    for old_episode, new_episode in zip(old, new):
+        # dataclass equality compares every field, floats included —
+        # bitwise identity, not approximation
+        assert old_episode == new_episode
+
+
+class TestDeprecationShims:
+    def test_build_agent_warns_and_delegates(self, suite):
+        with pytest.deprecated_call(match="build_agent is deprecated"):
+            agent = build_agent("default", MODEL, QUANT, suite)
+        assert agent.scheme == "default"
+        assert agent.suite is suite
+
+    def test_build_less_is_more_warns_and_delegates(self, suite):
+        with pytest.deprecated_call(match="build_less_is_more is deprecated"):
+            agent = build_less_is_more(MODEL, QUANT, suite, k=5)
+        assert agent.scheme == "lis"
+        assert agent.k == 5
+
+    def test_build_gateway_warns_and_delegates(self, suite):
+        with pytest.deprecated_call(match="build_gateway is deprecated"):
+            gateway = build_gateway({"home": suite})
+        assert gateway.sessions.get("home").suite is suite
+
+    def test_build_agent_kwargs_pass_through(self, suite):
+        with pytest.deprecated_call():
+            agent = build_agent("gorilla", MODEL, QUANT, suite, k=6)
+        assert agent.k == 6
+
+    def test_build_agent_unknown_scheme_lists_registered(self, suite):
+        with pytest.deprecated_call(), \
+                pytest.raises(ValueError, match="registered schemes"):
+            build_agent("react", MODEL, QUANT, suite)
+
+    def test_load_suite_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            load_suite("edgehome", n_queries=2)

@@ -1,0 +1,199 @@
+"""Spec dataclasses: validation, dict round-trip, pickle round-trip."""
+
+import pickle
+
+import pytest
+
+from repro.specs import (
+    AgentSpec,
+    ExperimentSpec,
+    GridSpec,
+    ServingSpec,
+    SuiteSpec,
+    TenantSpec,
+)
+
+ALL_SPECS = [
+    SuiteSpec(name="edgehome", n_queries=12, seed=3),
+    AgentSpec(scheme="lis-k3", model="hermes2-pro-8b", quant="q4_K_M",
+              k=4, confidence_threshold=0.2, force_level=2,
+              context_window=8192),
+    GridSpec(schemes=("default", "lis-k3"), models=("llama3.1-8b",),
+             quants=("q4_K_M", "q8_0"), backend="process", workers=2,
+             n_queries=8),
+    TenantSpec(name="home", suite=SuiteSpec(name="edgehome", n_queries=6)),
+    ServingSpec(
+        tenants=(TenantSpec(name="home", suite=SuiteSpec(name="edgehome")),
+                 TenantSpec(name="assist", suite=SuiteSpec(name="bfcl"))),
+        max_batch_size=16, max_wait_ms=1.5, queue_capacity=64,
+        default_scheme="lis-k5", execution_backend="process",
+        execution_workers=2, plan_cache_size=256),
+    ExperimentSpec(
+        suite=SuiteSpec(name="bfcl", n_queries=4),
+        agent=AgentSpec(scheme="gorilla", model="qwen2-7b", quant="q4_0"),
+        grid=GridSpec(schemes=("default",), models=("qwen2-7b",),
+                      quants=("q4_0",)),
+        serving=ServingSpec(plan_cache_size=8)),
+]
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+class TestRoundTrips:
+    def test_dict_round_trip(self, spec):
+        data = spec.to_dict()
+        assert type(spec).from_dict(data) == spec
+
+    def test_dict_is_json_plain(self, spec):
+        import json
+
+        json.dumps(spec.to_dict())  # no custom types leak through
+
+    def test_pickle_round_trip(self, spec):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestNormalization:
+    def test_grid_axes_accept_comma_strings(self):
+        grid = GridSpec(schemes="default,lis-k3", models="llama3.1-8b",
+                        quants="q4_K_M,q8_0")
+        assert grid.schemes == ("default", "lis-k3")
+        assert grid.quants == ("q4_K_M", "q8_0")
+
+    def test_grid_axes_accept_lists(self):
+        grid = GridSpec(schemes=["default"], models=["m"], quants=["q"])
+        assert grid.schemes == ("default",)
+
+    def test_grid_cells_order(self):
+        grid = GridSpec(schemes=("a", "b"), models=("m",), quants=("q1", "q2"))
+        assert grid.cells == (("a", "m", "q1"), ("b", "m", "q1"),
+                              ("a", "m", "q2"), ("b", "m", "q2"))
+
+    def test_tenant_accepts_suite_name_string(self):
+        tenant = TenantSpec(name="home", suite="edgehome")
+        assert tenant.suite == SuiteSpec(name="edgehome")
+
+    def test_experiment_accepts_suite_name_string(self):
+        spec = ExperimentSpec(suite="bfcl")
+        assert spec.suite == SuiteSpec(name="bfcl")
+
+    def test_nested_dicts_decode(self):
+        spec = ExperimentSpec.from_dict({
+            "suite": {"name": "edgehome", "n_queries": 4, "seed": None},
+            "agent": {"scheme": "lis-k3", "model": "m", "quant": "q",
+                      "k": None, "confidence_threshold": None,
+                      "force_level": None, "context_window": None},
+            "grid": None,
+            "serving": {"tenants": [{"name": "t",
+                                     "suite": {"name": "bfcl",
+                                               "n_queries": None,
+                                               "seed": None}}],
+                        "max_batch_size": 4, "max_wait_ms": 1.0,
+                        "queue_capacity": 8, "default_scheme": "lis-k3",
+                        "default_model": "m", "default_quant": "q",
+                        "execution_backend": "thread",
+                        "execution_workers": None, "plan_cache_size": 2},
+        })
+        assert spec.suite.n_queries == 4
+        assert spec.serving.tenants[0].suite.name == "bfcl"
+
+
+class TestValidation:
+    def test_suite_name_required(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SuiteSpec(name="")
+
+    def test_suite_n_queries_positive(self):
+        with pytest.raises(ValueError, match="n_queries"):
+            SuiteSpec(name="bfcl", n_queries=0)
+
+    def test_agent_k_positive(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            AgentSpec(k=0)
+
+    def test_agent_force_level_domain(self):
+        with pytest.raises(ValueError, match="force_level"):
+            AgentSpec(force_level=4)
+
+    def test_agent_window_floor(self):
+        with pytest.raises(ValueError, match="context_window"):
+            AgentSpec(context_window=100)
+
+    def test_grid_needs_axes(self):
+        with pytest.raises(ValueError, match="schemes"):
+            GridSpec(schemes=())
+
+    def test_grid_workers_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            GridSpec(workers=0)
+
+    def test_serving_duplicate_tenants(self):
+        with pytest.raises(ValueError, match="unique"):
+            ServingSpec(tenants=(TenantSpec("t", "bfcl"),
+                                 TenantSpec("t", "edgehome")))
+
+    def test_serving_unknown_backend_lists_names(self):
+        with pytest.raises(ValueError, match="thread.*process|process.*thread"):
+            ServingSpec(execution_backend="gpu")
+
+    def test_serving_plan_cache_nonnegative(self):
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            ServingSpec(plan_cache_size=-1)
+
+    def test_experiment_needs_suite_or_serving(self):
+        with pytest.raises(ValueError, match="suite.*serving"):
+            ExperimentSpec()
+
+    def test_experiment_rejects_wrong_types(self):
+        with pytest.raises(ValueError, match="AgentSpec"):
+            ExperimentSpec(suite=SuiteSpec(name="bfcl"), agent="lis-k3")
+
+
+class TestSpecImportsStayCheap:
+    def test_constructing_specs_imports_nothing_heavy(self):
+        """Spec construction (ServingSpec included) must not pull in the
+        serving/evaluation stack — specs are the cheap layer."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "import sys; "
+            "from repro.specs import AgentSpec, GridSpec, ServingSpec, "
+            "SuiteSpec, TenantSpec; "
+            "ServingSpec(tenants=(TenantSpec('t', SuiteSpec('edgehome')),), "
+            "plan_cache_size=8, execution_backend='process'); "
+            "AgentSpec(); GridSpec(); "
+            "heavy = sorted(m for m in sys.modules if m.startswith("
+            "('repro.serving', 'repro.evaluation', 'repro.core', 'numpy'))); "
+            "print(','.join(heavy))"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        out = subprocess.run([sys.executable, "-c", code],
+                             env=dict(os.environ, PYTHONPATH=src),
+                             capture_output=True, text=True, check=True)
+        loaded = [m for m in out.stdout.strip().split(",") if m]
+        assert loaded == [], f"spec construction loaded: {loaded}"
+
+
+class TestConversions:
+    def test_serving_spec_to_config(self):
+        spec = ServingSpec(max_batch_size=4, max_wait_ms=0.5,
+                           plan_cache_size=32)
+        config = spec.to_config()
+        assert config.max_batch_size == 4
+        assert config.max_wait_ms == 0.5
+        assert config.plan_cache_size == 32
+
+    def test_replace_produces_new_frozen_spec(self):
+        spec = AgentSpec(scheme="lis-k3")
+        other = spec.replace(scheme="default")
+        assert spec.scheme == "lis-k3"
+        assert other.scheme == "default"
+        with pytest.raises(Exception):
+            spec.scheme = "x"  # frozen
+
+    def test_agent_kwargs_only_set_fields(self):
+        assert AgentSpec().agent_kwargs() == {}
+        assert AgentSpec(k=5, force_level=1).agent_kwargs() == {
+            "k": 5, "force_level": 1}

@@ -111,8 +111,11 @@ class TestSearchProperties:
         q_norm = np.linalg.norm(query)
         if q_norm == 0:
             return
+        # normalize before the dot product (like the index does): dividing
+        # the raw dot by a *product* of norms underflows to denormals for
+        # tiny-magnitude vectors and loses all precision
         safe = np.where(norms == 0, 1.0, norms)
-        sims = (vectors @ query) / (safe * q_norm)
+        sims = (vectors / safe[:, None]) @ (query / q_norm)
         sims[norms == 0] = 0.0
         assert result.scores[0] == pytest.approx(float(np.max(sims)), abs=1e-9)
 
