@@ -18,6 +18,13 @@ test-process:
 examples-smoke:
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/quickstart.py
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/serving_demo.py
+	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/catalog_hotswap.py
+	$(PYTHON) -m repro catalog list
+	$(PYTHON) -m repro catalog show edgehome --variant compressed > /dev/null
+	$(PYTHON) -m repro catalog diff edgehome edgehome
+	## variant diff exits 1 (like diff(1)) — assert exactly that
+	$(PYTHON) -m repro catalog diff edgehome edgehome \
+		--against-variant minimal > /dev/null; test $$? -eq 1
 
 ## regenerate the committed perf baseline at the repo root
 bench:

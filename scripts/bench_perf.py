@@ -126,6 +126,39 @@ def bench_episodes(repeats: int) -> dict:
     }
 
 
+def bench_catalog(repeats: int) -> dict:
+    """Catalog build time and per-variant prompt-token totals.
+
+    The token columns quantify the description-variant lever: the same
+    tool pool presented ``compressed``/``minimal`` costs strictly fewer
+    ``tool_prompt_tokens`` than ``full``.  The ratios (< 1.0) are
+    guarded so a regression that quietly fattens the shrunken variants
+    fails ``make bench-check``.
+    """
+    from repro.llm.tokens import tool_prompt_tokens
+    from repro.registry import CATALOGS
+    from repro.tools.catalog import load_catalog
+
+    names = CATALOGS.names()
+    build_s = median_time(lambda: [CATALOGS.get(name)() for name in names],
+                          repeats)
+
+    report: dict = {"catalogs": names, "build_ms": build_s * 1e3}
+    totals = {"full": 0, "compressed": 0, "minimal": 0}
+    for name in names:
+        catalog = load_catalog(name)
+        for variant in totals:
+            tokens = sum(tool_prompt_tokens(tool)
+                         for tool in catalog.at(variant))
+            report[f"{name}_{variant}_tokens"] = tokens
+            totals[variant] += tokens
+    for variant, total in totals.items():
+        report[f"{variant}_tokens_total"] = total
+    report["compressed_token_ratio"] = totals["compressed"] / totals["full"]
+    report["minimal_token_ratio"] = totals["minimal"] / totals["full"]
+    return report
+
+
 def bench_grid(n_queries: int) -> dict:
     """Full-grid wall time: sequential vs thread pool vs process pool.
 
@@ -181,6 +214,7 @@ def collect(repeats: int, grid_queries: int) -> dict:
         "encode": bench_encode(repeats),
         "search": bench_search(repeats),
         "episode": bench_episodes(repeats),
+        "catalog": bench_catalog(repeats),
         "grid": bench_grid(grid_queries),
         "serving": bench_serving(),
     }
@@ -206,6 +240,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{search['n_queries']} queries (x{search['flat_batch_speedup']:.1f} "
           f"vs per-query)")
     print(f"episode: {report['episode']['episodes_per_s']:.1f} episodes/s")
+    catalog = report["catalog"]
+    print(f"catalog: {len(catalog['catalogs'])} catalogs in "
+          f"{catalog['build_ms']:.1f} ms; tool prompt tokens "
+          f"{catalog['full_tokens_total']} full -> "
+          f"{catalog['compressed_tokens_total']} compressed "
+          f"(x{catalog['compressed_token_ratio']:.2f}) -> "
+          f"{catalog['minimal_tokens_total']} minimal "
+          f"(x{catalog['minimal_token_ratio']:.2f})")
     print(f"grid   : {grid['cells']} cells in {grid['sequential_s']:.2f}s seq / "
           f"{grid['parallel_s']:.2f}s threads (x{grid['parallel_speedup']:.2f}) / "
           f"{grid['process_s']:.2f}s process@{grid['process_workers']} "

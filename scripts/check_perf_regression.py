@@ -29,6 +29,11 @@ TRACKED_METRICS = [
     ("search", "ivf_batched_ms", False),
     ("search", "pq_batched_ms", False),
     ("episode", "episodes_per_s", True),
+    ("catalog", "build_ms", False),
+    # the variant ratios are < 1.0 by construction (shrunken variants
+    # cost fewer tool_prompt_tokens than full); they regress upward
+    ("catalog", "compressed_token_ratio", False),
+    ("catalog", "minimal_token_ratio", False),
     ("grid", "sequential_s", False),
     ("grid", "parallel_s", False),
     ("grid", "process_s", False),

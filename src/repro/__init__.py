@@ -29,19 +29,26 @@ _LAZY_EXPORTS = {
     "open_session": ("repro.session", "open_session"),
     "Session": ("repro.session", "Session"),
     "AgentSpec": ("repro.specs", "AgentSpec"),
+    "CatalogSpec": ("repro.specs", "CatalogSpec"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
     "GridSpec": ("repro.specs", "GridSpec"),
     "ServingSpec": ("repro.specs", "ServingSpec"),
     "SuiteSpec": ("repro.specs", "SuiteSpec"),
     "TenantSpec": ("repro.specs", "TenantSpec"),
+    # the tool-catalog API
+    "ToolCatalog": ("repro.tools.catalog", "ToolCatalog"),
+    "ToolSpec": ("repro.tools.schema", "ToolSpec"),
+    "ToolParameter": ("repro.tools.schema", "ToolParameter"),
     # plugin registries
     "register_scheme": ("repro.registry", "register_scheme"),
     "register_suite": ("repro.registry", "register_suite"),
     "register_grid_backend": ("repro.registry", "register_grid_backend"),
     "register_serving_backend": ("repro.registry", "register_serving_backend"),
+    "register_catalog": ("repro.registry", "register_catalog"),
     # loaders
     "load_suite": ("repro.api", "load_suite"),
     "load_model": ("repro.api", "load_model"),
+    "load_catalog": ("repro.tools.catalog", "load_catalog"),
     # deprecated builders (shims around the Session API)
     "build_agent": ("repro.api", "build_agent"),
     "build_gateway": ("repro.api", "build_gateway"),

@@ -88,4 +88,4 @@ class GorillaAgent(FunctionCallingAgent):
         query_vec = self.embedder.encode_one(text)
         result = self._index.search_one(query_vec, k or self.k)
         tools = [self._names[int(tool_id)] for tool_id in result.ids]
-        return self.suite.registry.subset(tools)
+        return self.suite.catalog.select(tools)

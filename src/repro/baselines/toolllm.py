@@ -136,7 +136,7 @@ class ToolLLMAgent(FunctionCallingAgent):
         for group_id in order[: max(1, self.n_branches // 4)]:
             chosen.extend(self._groups[int(group_id)])
         return ToolPlan(
-            tools=self.suite.registry.subset(dict.fromkeys(chosen)),
+            tools=self.suite.catalog.select(dict.fromkeys(chosen)),
             context_window=self.context_window,
             level=None,
             overhead_s=0.02,

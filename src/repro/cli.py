@@ -6,6 +6,7 @@ Commands
 ``grid``       sweep a scheme x model x quant grid on a worker pool
 ``compare``    default vs Gorilla vs LiS side-by-side with error bars
 ``levels``     inspect the offline Search Levels built for a suite
+``catalog``    list / show / diff registered tool catalogs and variants
 ``profile``    cost one hypothetical function-calling turn on the Orin
 
 Every evaluation command builds a typed spec (:mod:`repro.specs`) and
@@ -22,6 +23,9 @@ Examples::
         --quants q4_K_M,q8_0 --backend process --workers 4
     python -m repro compare --suite geoengine --model hermes2-pro-8b -n 60
     python -m repro levels --suite geoengine
+    python -m repro catalog list
+    python -m repro catalog show edgehome --variant compressed
+    python -m repro catalog diff edgehome edgehome --against-variant minimal
     python -m repro profile --tools 46 --window 16384 --quant q4_K_M
 """
 
@@ -123,6 +127,70 @@ def cmd_levels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _catalog_tokens(catalog) -> int:
+    from repro.llm.tokens import tool_prompt_tokens
+
+    return sum(tool_prompt_tokens(tool) for tool in catalog)
+
+
+def cmd_catalog_list(args: argparse.Namespace) -> int:
+    from repro.registry import CATALOGS
+    from repro.tools.catalog import load_catalog
+
+    header = (f"{'catalog':<12} {'tools':>5} {'categories':>10} "
+              f"{'full':>7} {'comp.':>7} {'min.':>7}  version")
+    print(header)
+    print("-" * len(header))
+    for name in CATALOGS.names():
+        catalog = load_catalog(name)
+        tokens = {variant: _catalog_tokens(catalog.at(variant))
+                  for variant in ("full", "compressed", "minimal")}
+        print(f"{name:<12} {len(catalog):>5} {len(catalog.categories):>10} "
+              f"{tokens['full']:>7} {tokens['compressed']:>7} "
+              f"{tokens['minimal']:>7}  {catalog.version[:12]}")
+    print("\n(token columns: total tool_prompt_tokens per description variant)")
+    return 0
+
+
+def cmd_catalog_show(args: argparse.Namespace) -> int:
+    from repro.llm.tokens import tool_prompt_tokens
+    from repro.tools.catalog import load_catalog
+
+    catalog = load_catalog(args.name, variant=args.variant)
+    print(f"catalog {catalog.name!r} | variant {catalog.variant} | "
+          f"{len(catalog)} tools | {_catalog_tokens(catalog)} prompt tokens | "
+          f"version {catalog.version[:12]}")
+    for category in catalog.categories:
+        print(f"\n[{category}]")
+        for tool in catalog.by_category(category):
+            print(f"  {tool.name:<28} {tool_prompt_tokens(tool):>4} tok  "
+                  f"{tool.description}")
+    return 0
+
+
+def cmd_catalog_diff(args: argparse.Namespace) -> int:
+    from repro.tools.catalog import load_catalog
+
+    old = load_catalog(args.old, variant=args.variant)
+    new = load_catalog(args.new, variant=args.against_variant or args.variant)
+    diff = old.diff(new)
+    old_tokens, new_tokens = _catalog_tokens(old), _catalog_tokens(new)
+    print(f"{old.name}@{old.variant} ({old.version[:12]}) -> "
+          f"{new.name}@{new.variant} ({new.version[:12]}): {diff.summary()}")
+    delta = (f" ({(new_tokens - old_tokens) / old_tokens:+.1%})"
+             if old_tokens else "")
+    print(f"prompt tokens: {old_tokens} -> {new_tokens}{delta}")
+    for name in diff.changed:
+        before, after = old.get(name), new.get(name)
+        if before.description != after.description:
+            print(f"  ~ {name}:")
+            print(f"      - {before.description}")
+            print(f"      + {after.description}")
+        else:
+            print(f"  ~ {name}: parameters/metadata changed")
+    return 0 if diff.is_empty and old_tokens == new_tokens else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.hardware import InferenceRequest, simulate_inference
     from repro.hardware.power_modes import orin_in_mode
@@ -182,6 +250,38 @@ def build_parser() -> argparse.ArgumentParser:
     levels_parser = sub.add_parser("levels", help="inspect Search Levels")
     _add_common(levels_parser)
     levels_parser.set_defaults(func=cmd_levels)
+
+    catalog_parser = sub.add_parser(
+        "catalog", help="inspect registered tool catalogs")
+    catalog_sub = catalog_parser.add_subparsers(dest="catalog_command",
+                                                required=True)
+
+    catalog_list = catalog_sub.add_parser(
+        "list", help="all registered catalogs with per-variant token totals")
+    catalog_list.set_defaults(func=cmd_catalog_list)
+
+    catalog_show = catalog_sub.add_parser(
+        "show", help="one catalog's tools, grouped by category")
+    catalog_show.add_argument("name", help="registered catalog name")
+    catalog_show.add_argument("--variant", default="full",
+                              choices=["full", "compressed", "minimal"],
+                              help="description variant to present")
+    catalog_show.set_defaults(func=cmd_catalog_show)
+
+    catalog_diff = catalog_sub.add_parser(
+        "diff", help="added/removed/changed tools between two catalogs "
+                     "(exit 1 when they differ, like diff(1))")
+    catalog_diff.add_argument("old", help="registered catalog name (before)")
+    catalog_diff.add_argument("new", help="registered catalog name (after)")
+    catalog_diff.add_argument("--variant", default="full",
+                              choices=["full", "compressed", "minimal"],
+                              help="variant for both sides")
+    catalog_diff.add_argument("--against-variant", default=None,
+                              choices=["full", "compressed", "minimal"],
+                              help="variant for the 'after' side only "
+                                   "(diff a catalog against its own "
+                                   "compressed/minimal form)")
+    catalog_diff.set_defaults(func=cmd_catalog_diff)
 
     profile_parser = sub.add_parser("profile", help="cost one LLM turn")
     profile_parser.add_argument("--tools", type=int, default=46)

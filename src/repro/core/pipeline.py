@@ -146,7 +146,7 @@ class LessIsMoreAgent(FunctionCallingAgent):
             overhead = (EMBEDDING_OVERHEAD_S * len(recommendation.descriptions)
                         + 2 * KNN_OVERHEAD_S)
             plans.append(ToolPlan(
-                tools=self.suite.registry.subset(decision.tools),
+                tools=self.suite.catalog.select(decision.tools),
                 context_window=window,
                 level=decision.level,
                 overhead_s=overhead,

@@ -1,7 +1,7 @@
 """Plugin registries: string-keyed dispatch for schemes, suites, backends.
 
 Every name→implementation decision in the public surface goes through
-one of the four registries below, so a third-party scheme, benchmark
+one of the five registries below, so a third-party scheme, benchmark
 suite or execution backend plugs in with a one-line decorator instead of
 editing core files::
 
@@ -154,7 +154,7 @@ class Registry:
 
 
 # ----------------------------------------------------------------------
-# the four public registries
+# the five public registries
 # ----------------------------------------------------------------------
 #: scheme name -> agent factory ``f(model, quant, context, **kwargs)``
 SCHEMES = Registry("scheme", builtin_modules=(
@@ -172,6 +172,15 @@ GRID_BACKENDS = Registry("grid backend", builtin_modules=(
 SERVING_BACKENDS = Registry("serving execution backend", builtin_modules=(
     "repro.serving.config", "repro.serving.process"),
     builtin_names=("thread", "process"))
+
+#: catalog name -> zero-arg builder returning a
+#: :class:`~repro.tools.catalog.ToolCatalog` (full variant).  Resolve via
+#: :func:`repro.tools.catalog.load_catalog`, which also applies subsets
+#: and description variants.
+CATALOGS = Registry("catalog", builtin_modules=(
+    "repro.suites.bfcl_catalog", "repro.suites.geoengine_catalog",
+    "repro.suites.edgehome"),
+    builtin_names=("bfcl", "geoengine", "edgehome"))
 
 
 def register_scheme(name: str, factory: Callable | None = None, *,
@@ -201,6 +210,21 @@ def register_serving_backend(name: str, factory: Callable | None = None, *,
                              replace: bool = False):
     """Register a serving execution-stage factory ``f(config)``."""
     return SERVING_BACKENDS.register(name, factory, replace=replace)
+
+
+def register_catalog(name: str, builder: Callable | None = None, *,
+                     replace: bool = False):
+    """Register a tool-catalog builder by name.
+
+    The builder takes no arguments and returns the catalog's **full**
+    variant; shrunken variants are derived on load.  Suites declare a
+    catalog name instead of constructing tools inline, so replacing a
+    registered catalog (``replace=True``) re-tools every suite and
+    tenant *built after* the replacement; already-constructed suites
+    and live serving tenants keep their catalog — hot-swap those with
+    ``Gateway.update_catalog``.
+    """
+    return CATALOGS.register(name, builder, replace=replace)
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,10 @@ class ServingConfig:
         :class:`~repro.serving.batcher.QueueFullError` instead of growing
         an unbounded backlog.
     default_scheme / default_model / default_quant:
-        Agent grid cell used for requests that do not specify one.
+        Agent grid cell used for requests that do not specify one.  Also
+        the cell :meth:`~repro.serving.gateway.Gateway.update_catalog`
+        warms against a hot-swapped tool catalog before the atomic swap,
+        so default-cell traffic never pays the re-index on-path.
     execution_backend:
         Where the post-planning episode loop of a flushed batch runs.
         Resolved through the serving-backend registry

@@ -37,7 +37,7 @@ class WorkItem:
 
 
 class _PlanCache:
-    """Bounded LRU of ``(tenant, qid, query text, cell) -> ToolPlan``.
+    """Bounded LRU of ``(tenant, catalog version, query, cell) -> ToolPlan``.
 
     Plans are deterministic per query — the recommender, the embedder
     and the batch-invariant retrieval kernels all draw from named
@@ -45,7 +45,11 @@ class _PlanCache:
     identical to re-planning (asserted in
     ``tests/test_serving_plan_cache.py``).  The query *text* rides in
     the key alongside the qid so a tenant re-registered with different
-    content cannot alias a stale plan.
+    content cannot alias a stale plan, and the tenant's **catalog
+    version** rides in it so :meth:`Gateway.update_catalog` implicitly
+    invalidates every plan computed against the previous catalog — a
+    stale plan can never be served across a hot-swap
+    (``tests/test_serving_catalog_swap.py``).
 
     Lock-protected: lookups run on the batch worker while ``clear`` may
     be called from anywhere.
@@ -57,8 +61,10 @@ class _PlanCache:
         self._lock = threading.Lock()
 
     @staticmethod
-    def key(tenant: str, query: Query, scheme: str, model: str, quant: str) -> tuple:
-        return (tenant, query.qid, query.text, scheme, model, quant)
+    def key(tenant: str, query: Query, scheme: str, model: str, quant: str,
+            catalog_version: str = "") -> tuple:
+        return (tenant, catalog_version, query.qid, query.text,
+                scheme, model, quant)
 
     def get(self, key: tuple):
         with self._lock:
@@ -202,6 +208,45 @@ class Gateway:
         """Current telemetry snapshot (queue, batches, latency percentiles)."""
         return self.telemetry.snapshot()
 
+    def update_catalog(self, tenant: str, catalog) -> str:
+        """Hot-swap one tenant's tool catalog; returns the new version.
+
+        ``catalog`` may be a ready
+        :class:`~repro.tools.catalog.ToolCatalog`, a registered catalog
+        name (resolved through :data:`repro.registry.CATALOGS`), or a
+        :class:`~repro.specs.CatalogSpec` (name + variant + subset).
+
+        The tenant's Search Levels are re-indexed and its default agent
+        cell warmed against the new catalog *before* the atomic swap, so
+        in-flight flushes finish on the complete old state and the next
+        flush plans on the complete new one.  Because the plan-cache key
+        carries the catalog version, plans cached under the previous
+        catalog are unreachable from the moment the swap lands — no
+        explicit cache flush, no stale replies.  A catalog missing a
+        tool the tenant's queries still reference fails validation and
+        leaves the tenant serving the old catalog.
+
+        With the ``"process"`` execution backend, worker processes hold
+        the old runner snapshot; the swapped tenant falls back to inline
+        execution (same results, bitwise) until the gateway restarts.
+        """
+        from repro.tools.catalog import ToolCatalog, load_catalog
+
+        if isinstance(catalog, str):
+            catalog = load_catalog(catalog)
+        elif hasattr(catalog, "load") and not isinstance(catalog, ToolCatalog):
+            catalog = catalog.load()  # CatalogSpec (or anything spec-shaped)
+        session = self.sessions.get(tenant)
+        warm_cell = (self.config.default_scheme, self.config.default_model,
+                     self.config.default_quant)
+        version = session.swap_catalog(catalog, warm_cell=warm_cell)
+        if self._process_stage is not None:
+            # workers were primed with the pre-swap runner snapshot;
+            # route this tenant's episodes inline from now on
+            self._process_stage.uncover(tenant)
+        self.telemetry.record_catalog_swap(tenant)
+        return version
+
     # ------------------------------------------------------------------
     # batch execution (worker thread)
     # ------------------------------------------------------------------
@@ -233,10 +278,14 @@ class Gateway:
         responses: list[ServingResponse | Exception | None] = [None] * len(batch)
         for (tenant, scheme, model, quant), positions in groups.items():
             try:
-                agent = self.sessions.get(tenant).agent_for(scheme, model, quant)
+                # agent and catalog version are leased together so a
+                # concurrent hot-swap cannot pair an old agent's plans
+                # with the new catalog's cache key (or vice versa)
+                agent, catalog_version = self.sessions.get(tenant).leased_agent(
+                    scheme, model, quant)
                 queries = [batch[position].payload.query for position in positions]
                 plans = self._plan_group(agent, tenant, scheme, model, quant,
-                                         queries)
+                                         queries, catalog_version)
                 stage = self._process_stage
                 if stage is not None and stage.covers(tenant):
                     episodes = stage.execute(tenant, scheme, model, quant,
@@ -259,19 +308,21 @@ class Gateway:
         return responses
 
     def _plan_group(self, agent, tenant: str, scheme: str, model: str,
-                    quant: str, queries: list[Query]) -> list:
+                    quant: str, queries: list[Query],
+                    catalog_version: str = "") -> list:
         """Plan one (tenant, cell) group, serving repeats from the cache.
 
         With ``plan_cache_size=0`` this is exactly ``agent.plan_batch``.
         Otherwise cached queries skip planning and only the misses ride
         the vectorized ``plan_batch`` pass — the kernels are
         batch-invariant, so planning a sub-batch produces the same plans
-        the full batch would have.
+        the full batch would have.  ``catalog_version`` namespaces the
+        cache keys per hot-swap generation.
         """
         cache = self._plan_cache
         if cache is None:
             return agent.plan_batch(queries)
-        keys = [cache.key(tenant, query, scheme, model, quant)
+        keys = [cache.key(tenant, query, scheme, model, quant, catalog_version)
                 for query in queries]
         plans: list = [cache.get(key) for key in keys]
         for plan in plans:

@@ -111,6 +111,16 @@ class ProcessEpisodeExecutor:
         """
         return tenant in self._tenants
 
+    def uncover(self, tenant: str) -> None:
+        """Stop routing ``tenant`` to the pool.
+
+        Called on catalog hot-swap: the workers' runner snapshot (and
+        their lazily-built agents) predate the swap, so the gateway
+        executes this tenant inline from now on.  Restarting the gateway
+        re-primes the pool with the post-swap runner.
+        """
+        self._tenants = self._tenants - {tenant}
+
     def execute(self, tenant: str, scheme: str, model: str, quant: str,
                 queries: list[Query], plans: list) -> list[EpisodeResult]:
         """Run one planned group across the pool, preserving order.

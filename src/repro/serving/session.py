@@ -30,6 +30,13 @@ class TenantSession:
     for reuse across requests.  Serving agents keep their executor's
     per-call log disabled: episodes from many users would otherwise
     accumulate in one unbounded list.
+
+    The tool catalog is hot-swappable: :meth:`swap_catalog` re-tools the
+    suite, re-indexes the Search Levels and drops the agent cache in one
+    atomic reference swap, and :attr:`catalog_version` — returned
+    together with the agent by :meth:`leased_agent` — keys the gateway's
+    plan cache so a plan computed against one catalog can never be
+    replayed against another.
     """
 
     def __init__(self, name: str, suite: BenchmarkSuite, embedder: CachedEmbedder):
@@ -40,8 +47,24 @@ class TenantSession:
         self._lock = threading.Lock()
         self._queries_by_qid = {query.qid: query for query in suite.queries}
 
+    @property
+    def catalog_version(self) -> str:
+        """Content-hash version of the currently served tool catalog."""
+        return self.suite.catalog.version
+
     def agent_for(self, scheme: str, model: str, quant: str):
         """Return (building if needed) the agent for one grid cell."""
+        return self.leased_agent(scheme, model, quant)[0]
+
+    def leased_agent(self, scheme: str, model: str,
+                     quant: str) -> tuple[object, str]:
+        """``(agent, catalog_version)`` under one lock acquisition.
+
+        The pair is consistent by construction: a concurrent
+        :meth:`swap_catalog` lands either entirely before (new agent +
+        new version) or entirely after (old agent + old version), so the
+        gateway never caches a plan under the wrong catalog version.
+        """
         key = (scheme, model, quant)
         with self._lock:
             agent = self._agents.get(key)
@@ -49,7 +72,37 @@ class TenantSession:
                 agent = self.runner.make_agent(scheme, model, quant)
                 agent.executor.log_calls = False
                 self._agents[key] = agent
-            return agent
+            return agent, self.suite.catalog.version
+
+    def swap_catalog(self, catalog, warm_cell: tuple[str, str, str] | None = None):
+        """Atomically re-tool this tenant onto ``catalog``.
+
+        The expensive work — re-validating gold calls against the new
+        catalog, re-building the Search Levels over the new description
+        corpus, warming the default agent cell — happens *before* the
+        swap, on the caller's thread, against fresh objects; the running
+        state is then replaced in one lock-protected reference swap, so
+        concurrent :meth:`leased_agent` callers see either the complete
+        old state or the complete new state, never a mix.
+
+        Returns the new catalog version.  A catalog that dropped a tool
+        the query pool still references fails validation here, leaving
+        the tenant untouched.
+        """
+        new_suite = self.suite.with_catalog(catalog)  # validates gold calls
+        new_runner = ExperimentRunner(new_suite, embedder=self.runner.embedder)
+        _ = new_runner.levels  # re-index now, not on the first request
+        new_runner.embedder.encode(new_suite.registry.descriptions())
+        new_agents: dict[tuple[str, str, str], object] = {}
+        if warm_cell is not None:
+            agent = new_runner.make_agent(*warm_cell)
+            agent.executor.log_calls = False
+            new_agents[warm_cell] = agent
+        with self._lock:
+            self.suite = new_suite
+            self.runner = new_runner
+            self._agents = new_agents
+        return new_suite.catalog.version
 
     def resolve_query(self, query: Query | str) -> Query:
         """Accept a :class:`Query` or a qid string from this tenant's suite."""

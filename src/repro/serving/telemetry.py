@@ -78,6 +78,7 @@ class Telemetry:
         self._latencies_s = _Ring(max_samples)
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        self._catalog_swaps: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # recording
@@ -106,6 +107,11 @@ class Telemetry:
             else:
                 self._plan_cache_misses += 1
 
+    def record_catalog_swap(self, tenant: str) -> None:
+        """One tenant's tool catalog hot-swapped by ``Gateway.update_catalog``."""
+        with self._lock:
+            self._catalog_swaps[tenant] += 1
+
     def record_completion(self, latency_s: float, ok: bool = True) -> None:
         """One request finished (``latency_s`` is submit-to-response)."""
         with self._lock:
@@ -127,6 +133,7 @@ class Telemetry:
             admitted, rejected = self._admitted, self._rejected
             completed, failed = self._completed, self._failed
             plan_hits, plan_misses = self._plan_cache_hits, self._plan_cache_misses
+            catalog_swaps = dict(self._catalog_swaps)
         n_batches = sum(sizes.values())
         plan_lookups = plan_hits + plan_misses
         n_batched = sum(size * count for size, count in sizes.items())
@@ -150,4 +157,6 @@ class Telemetry:
             "plan_cache_misses": plan_misses,
             "plan_cache_hit_rate": (plan_hits / plan_lookups
                                     if plan_lookups else 0.0),
+            "catalog_swaps": sum(catalog_swaps.values()),
+            "catalog_swaps_by_tenant": catalog_swaps,
         }

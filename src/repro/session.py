@@ -103,6 +103,11 @@ class Session:
         """The suite's offline-built Search Levels (built on first use)."""
         return self.runner.levels
 
+    @property
+    def catalog(self):
+        """The session suite's :class:`~repro.tools.catalog.ToolCatalog`."""
+        return self.suite.catalog
+
     # ------------------------------------------------------------------
     # agents
     # ------------------------------------------------------------------
@@ -177,7 +182,9 @@ class Session:
         sessions = SessionManager(embedder=self.embedder)
         if serving.tenants:
             for tenant in serving.tenants:
-                sessions.register(tenant.name, tenant.suite.load())
+                # the tenant's CatalogSpec override (variant / subset /
+                # replacement pool) is applied declaratively at load time
+                sessions.register(tenant.name, tenant.effective_suite().load())
         else:
             sessions.register(self.suite.name, self.suite)
         return Gateway(sessions, config=serving.to_config())

@@ -67,6 +67,46 @@ def _as_tuple(value) -> tuple:
     return tuple(value)
 
 
+#: description variants a CatalogSpec may select — mirror
+#: repro.tools.schema.DESCRIPTION_VARIANTS (kept in sync by
+#: tests/test_specs.py) so constructing a spec stays import-free
+CATALOG_VARIANTS = ("full", "compressed", "minimal")
+
+
+@dataclass(frozen=True)
+class CatalogSpec(_SpecBase):
+    """Which tool catalog to present, under which description variant.
+
+    ``name`` resolves through the catalog registry
+    (:data:`repro.registry.CATALOGS`).  ``variant`` selects the per-tool
+    description variant (``full`` | ``compressed`` | ``minimal`` — the
+    paper's description-length lever); ``include`` optionally subsets to
+    the named tools, preserving the catalog's registration order.
+    """
+
+    name: str
+    variant: str = "full"
+    include: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        _require(bool(self.name), "CatalogSpec.name must be a non-empty string")
+        _require(self.variant in CATALOG_VARIANTS,
+                 f"CatalogSpec.variant must be one of "
+                 f"{', '.join(CATALOG_VARIANTS)}, got {self.variant!r}")
+        if self.include is not None:
+            object.__setattr__(self, "include", _as_tuple(self.include))
+            _require(bool(self.include),
+                     "CatalogSpec.include must name at least one tool "
+                     "(or be None for the whole catalog)")
+
+    def load(self):
+        """Build the :class:`~repro.tools.catalog.ToolCatalog`."""
+        from repro.tools.catalog import load_catalog
+
+        return load_catalog(self.name, variant=self.variant,
+                            include=self.include)
+
+
 @dataclass(frozen=True)
 class SuiteSpec(_SpecBase):
     """Which benchmark suite to load, and how big a query pool.
@@ -75,22 +115,36 @@ class SuiteSpec(_SpecBase):
     (:data:`repro.registry.SUITES`), so registered third-party suites
     work everywhere built-ins do.  ``n_queries``/``seed`` default to the
     builder's own defaults (the paper's 230-query mini-batch, seed 0).
+    ``catalog`` optionally re-tools the suite onto a
+    :class:`CatalogSpec` (e.g. a compressed-variant pool); it is only
+    forwarded to builders when set, so suite builders without a
+    ``catalog`` parameter keep working.
     """
 
     name: str
     n_queries: int | None = None
     seed: int | None = None
+    catalog: CatalogSpec | None = None
 
     def __post_init__(self):
         _require(bool(self.name), "SuiteSpec.name must be a non-empty string")
         _require(self.n_queries is None or self.n_queries >= 1,
                  f"SuiteSpec.n_queries must be >= 1, got {self.n_queries}")
+        if isinstance(self.catalog, str):
+            object.__setattr__(self, "catalog", CatalogSpec(self.catalog))
+        elif isinstance(self.catalog, dict):
+            object.__setattr__(self, "catalog", CatalogSpec.from_dict(self.catalog))
+        _require(self.catalog is None or isinstance(self.catalog, CatalogSpec),
+                 f"SuiteSpec.catalog must be a CatalogSpec, "
+                 f"got {type(self.catalog).__name__}")
 
     def load(self):
-        """Build the suite through the registry."""
+        """Build the suite (and its catalog, if pinned) via the registries."""
         from repro.suites import load_suite
 
-        return load_suite(self.name, n_queries=self.n_queries, seed=self.seed)
+        catalog = self.catalog.load() if self.catalog is not None else None
+        return load_suite(self.name, n_queries=self.n_queries, seed=self.seed,
+                          catalog=catalog)
 
 
 @dataclass(frozen=True)
@@ -175,10 +229,18 @@ class GridSpec(_SpecBase):
 
 @dataclass(frozen=True)
 class TenantSpec(_SpecBase):
-    """One serving tenant: a name bound to a suite (= tool catalog)."""
+    """One serving tenant: a name bound to a suite and its tool catalog.
+
+    ``catalog`` overrides the suite's own catalog spec for this tenant —
+    the declarative form of per-tenant tooling (e.g. one tenant on the
+    ``compressed`` variant while another serves ``full``); it is also
+    the baseline :meth:`~repro.serving.gateway.Gateway.update_catalog`
+    hot-swaps away from.
+    """
 
     name: str
     suite: SuiteSpec
+    catalog: CatalogSpec | None = None
 
     def __post_init__(self):
         _require(bool(self.name), "TenantSpec.name must be a non-empty string")
@@ -188,6 +250,19 @@ class TenantSpec(_SpecBase):
             object.__setattr__(self, "suite", SuiteSpec.from_dict(self.suite))
         _require(isinstance(self.suite, SuiteSpec),
                  f"TenantSpec.suite must be a SuiteSpec, got {type(self.suite).__name__}")
+        if isinstance(self.catalog, str):
+            object.__setattr__(self, "catalog", CatalogSpec(self.catalog))
+        elif isinstance(self.catalog, dict):
+            object.__setattr__(self, "catalog", CatalogSpec.from_dict(self.catalog))
+        _require(self.catalog is None or isinstance(self.catalog, CatalogSpec),
+                 f"TenantSpec.catalog must be a CatalogSpec, "
+                 f"got {type(self.catalog).__name__}")
+
+    def effective_suite(self) -> SuiteSpec:
+        """The suite spec with this tenant's catalog override applied."""
+        if self.catalog is None:
+            return self.suite
+        return self.suite.replace(catalog=self.catalog)
 
 
 @dataclass(frozen=True)
@@ -317,6 +392,7 @@ class ExperimentSpec(_SpecBase):
 
 __all__ = [
     "AgentSpec",
+    "CatalogSpec",
     "ExperimentSpec",
     "GridSpec",
     "ServingSpec",

@@ -23,12 +23,16 @@ register_suite("geoengine", build_geoengine_suite)
 register_suite("edgehome", build_edgehome_suite)
 
 
-def load_suite(name: str, n_queries: int | None = None, seed: int | None = None) -> BenchmarkSuite:
+def load_suite(name: str, n_queries: int | None = None, seed: int | None = None,
+               catalog=None) -> BenchmarkSuite:
     """Load a suite by name through the suite registry.
 
     Built-ins: ``"bfcl"`` | ``"geoengine"`` | ``"edgehome"``; anything
     added via :func:`repro.registry.register_suite` resolves the same
     way.  ``n_queries`` defaults to the paper's mini-batch size (230).
+    ``catalog`` (a :class:`~repro.tools.catalog.ToolCatalog`) overrides
+    the suite's tool pool; it is only forwarded when set, so suite
+    builders without a ``catalog`` parameter keep working.
     """
     builder = SUITES.get(name)
     kwargs = {}
@@ -36,6 +40,8 @@ def load_suite(name: str, n_queries: int | None = None, seed: int | None = None)
         kwargs["n_queries"] = n_queries
     if seed is not None:
         kwargs["seed"] = seed
+    if catalog is not None:
+        kwargs["catalog"] = catalog
     return builder(**kwargs)
 
 

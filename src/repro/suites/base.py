@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.tools.catalog import ToolCatalog
 from repro.tools.registry import ToolRegistry
 from repro.tools.schema import ToolCall
 
@@ -43,27 +44,58 @@ class Query:
 
 @dataclass
 class BenchmarkSuite:
-    """A tool pool plus deterministic eval/train query sets.
+    """A tool catalog plus deterministic eval/train query sets.
 
     ``queries`` is the evaluation mini-batch (paper: 230 queries);
     ``train_queries`` is a disjoint pool that only Level-2 construction
     may look at (mirroring the paper's use of benchmark training splits
     for GPT-4 augmentation).
+
+    The ``registry`` field (named for the legacy constructor surface)
+    accepts either a frozen :class:`~repro.tools.catalog.ToolCatalog` or
+    a legacy :class:`~repro.tools.registry.ToolRegistry`; registries are
+    frozen into a catalog at construction, so ``suite.registry`` — and
+    the :attr:`catalog` alias — is always a versioned catalog.
     """
 
     name: str
-    registry: ToolRegistry
+    registry: ToolCatalog | ToolRegistry
     queries: list[Query]
     train_queries: list[Query] = field(default_factory=list)
     sequential: bool = False
 
     def __post_init__(self):
+        if isinstance(self.registry, ToolRegistry):
+            self.registry = self.registry.to_catalog(name=self.name)
+        if not isinstance(self.registry, ToolCatalog):
+            raise TypeError(
+                f"suite {self.name!r}: registry must be a ToolCatalog or "
+                f"ToolRegistry, got {type(self.registry).__name__}")
         for query in list(self.queries) + list(self.train_queries):
             for tool in query.gold_tools:
                 if tool not in self.registry:
                     raise ValueError(
-                        f"query {query.qid} references unknown tool {tool!r}"
+                        f"query {query.qid} references unknown tool {tool!r} "
+                        f"(catalog {self.registry.name!r}, "
+                        f"version {self.registry.version[:12]})"
                     )
+
+    @property
+    def catalog(self) -> ToolCatalog:
+        """The suite's tool catalog (alias of :attr:`registry`)."""
+        return self.registry
+
+    def with_catalog(self, catalog: ToolCatalog) -> "BenchmarkSuite":
+        """This suite re-tooled onto ``catalog`` (same query pools).
+
+        Gold calls are re-validated against the new catalog, so swapping
+        in a catalog that dropped a referenced tool fails loudly here —
+        the serving hot-swap path relies on that check.
+        """
+        return BenchmarkSuite(
+            name=self.name, registry=catalog, queries=self.queries,
+            train_queries=self.train_queries, sequential=self.sequential,
+        )
 
     @property
     def n_tools(self) -> int:

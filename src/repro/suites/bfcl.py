@@ -9,8 +9,8 @@ roughly equal representation, then shuffled deterministically.
 from __future__ import annotations
 
 from repro.suites.base import PAPER_QUERY_BATCH, BenchmarkSuite, Query
-from repro.suites.bfcl_catalog import build_bfcl_registry
 from repro.suites.templating import QueryTemplate
+from repro.tools.catalog import ToolCatalog, load_catalog
 from repro.tools.schema import ToolCall
 from repro.utils.rng import derive_rng
 
@@ -195,11 +195,16 @@ def generate_bfcl_queries(n_queries: int, seed: int, split: str) -> list[Query]:
 
 
 def build_bfcl_suite(n_queries: int = PAPER_QUERY_BATCH, seed: int = 0,
-                     n_train: int = 120) -> BenchmarkSuite:
-    """Build the BFCL-substitute suite (51 tools, single-call queries)."""
+                     n_train: int = 120,
+                     catalog: ToolCatalog | None = None) -> BenchmarkSuite:
+    """Build the BFCL-substitute suite (51 tools, single-call queries).
+
+    ``catalog`` overrides the tool pool (default: the registered
+    ``"bfcl"`` catalog).
+    """
     return BenchmarkSuite(
         name="bfcl",
-        registry=build_bfcl_registry(),
+        registry=catalog if catalog is not None else load_catalog("bfcl"),
         queries=generate_bfcl_queries(n_queries, seed, split="eval"),
         train_queries=generate_bfcl_queries(n_train, seed, split="train"),
         sequential=False,

@@ -9,13 +9,15 @@ Descriptions are deliberately verbose — they are the retrieval corpus.
 
 from __future__ import annotations
 
+from repro.registry import register_catalog
+from repro.tools.catalog import ToolCatalog
 from repro.tools.registry import ToolRegistry
 from repro.tools.schema import ToolParameter as P
 from repro.tools.schema import ToolSpec as T
 
 
-def build_bfcl_registry() -> ToolRegistry:
-    """Return the 51-tool BFCL-like registry (registration order is stable)."""
+def _bfcl_tools() -> tuple[T, ...]:
+    """The 51 BFCL-like tool specs (registration order is stable)."""
     tools = [
         # ------------------------------------------------------------------
         # math (7)
@@ -298,4 +300,15 @@ def build_bfcl_registry() -> ToolRegistry:
           (P("meal", "string", "Description of the meal."),),
           category="lifestyle"),
     ]
-    return ToolRegistry(tools)
+    return tuple(tools)
+
+
+@register_catalog("bfcl")
+def build_bfcl_catalog() -> ToolCatalog:
+    """The 51-tool BFCL-like catalog (full variant)."""
+    return ToolCatalog("bfcl", _bfcl_tools())
+
+
+def build_bfcl_registry() -> ToolRegistry:
+    """Legacy registry form of the BFCL catalog (same specs, same order)."""
+    return ToolRegistry(_bfcl_tools())

@@ -14,8 +14,10 @@ bench and CLI command in the package.
 
 from __future__ import annotations
 
+from repro.registry import register_catalog
 from repro.suites.base import PAPER_QUERY_BATCH, BenchmarkSuite, Query
 from repro.suites.templating import QueryTemplate
+from repro.tools.catalog import ToolCatalog, load_catalog
 from repro.tools.registry import ToolRegistry
 from repro.tools.schema import ToolCall
 from repro.tools.schema import ToolParameter as P
@@ -23,8 +25,8 @@ from repro.tools.schema import ToolSpec as T
 from repro.utils.rng import derive_rng
 
 
-def build_edgehome_registry() -> ToolRegistry:
-    """32 tools across home-control, assistant and media domains."""
+def _edgehome_tools() -> tuple[T, ...]:
+    """32 tool specs across home-control, assistant and media domains."""
     tools = [
         # home control (10) ------------------------------------------------
         T("turn_on_light", "Turn on the smart light in a room of the house.",
@@ -102,7 +104,18 @@ def build_edgehome_registry() -> ToolRegistry:
         T("get_now_playing", "Report which track is currently playing.",
           (), category="media"),
     ]
-    return ToolRegistry(tools)
+    return tuple(tools)
+
+
+@register_catalog("edgehome")
+def build_edgehome_catalog() -> ToolCatalog:
+    """The 32-tool EdgeHome catalog (full variant)."""
+    return ToolCatalog("edgehome", _edgehome_tools())
+
+
+def build_edgehome_registry() -> ToolRegistry:
+    """Legacy registry form of the EdgeHome catalog (same specs, order)."""
+    return ToolRegistry(_edgehome_tools())
 
 
 def _one(tool: str, **arguments) -> list[ToolCall]:
@@ -215,11 +228,17 @@ def generate_edgehome_queries(n_queries: int, seed: int, split: str) -> list[Que
 
 
 def build_edgehome_suite(n_queries: int = PAPER_QUERY_BATCH, seed: int = 0,
-                         n_train: int = 100) -> BenchmarkSuite:
-    """Build the edgehome suite (32 tools, mixed single/sequential)."""
+                         n_train: int = 100,
+                         catalog: ToolCatalog | None = None) -> BenchmarkSuite:
+    """Build the edgehome suite (32 tools, mixed single/sequential).
+
+    ``catalog`` overrides the tool pool (default: the registered
+    ``"edgehome"`` catalog, so plugins that re-register the name
+    re-tool this suite too).
+    """
     return BenchmarkSuite(
         name="edgehome",
-        registry=build_edgehome_registry(),
+        registry=catalog if catalog is not None else load_catalog("edgehome"),
         queries=generate_edgehome_queries(n_queries, seed, split="eval"),
         train_queries=generate_edgehome_queries(n_train, seed, split="train"),
         sequential=True,  # contains chains; per-query flag is authoritative

@@ -10,8 +10,8 @@ template below.
 from __future__ import annotations
 
 from repro.suites.base import PAPER_QUERY_BATCH, BenchmarkSuite, Query
-from repro.suites.geoengine_catalog import build_geoengine_registry
 from repro.suites.templating import QueryTemplate, season_dates
+from repro.tools.catalog import ToolCatalog, load_catalog
 from repro.tools.schema import ToolCall
 
 
@@ -202,11 +202,16 @@ def generate_geoengine_queries(n_queries: int, seed: int, split: str) -> list[Qu
 
 
 def build_geoengine_suite(n_queries: int = PAPER_QUERY_BATCH, seed: int = 0,
-                          n_train: int = 120) -> BenchmarkSuite:
-    """Build the GeoEngine-substitute suite (46 tools, sequential chains)."""
+                          n_train: int = 120,
+                          catalog: ToolCatalog | None = None) -> BenchmarkSuite:
+    """Build the GeoEngine-substitute suite (46 tools, sequential chains).
+
+    ``catalog`` overrides the tool pool (default: the registered
+    ``"geoengine"`` catalog).
+    """
     return BenchmarkSuite(
         name="geoengine",
-        registry=build_geoengine_registry(),
+        registry=catalog if catalog is not None else load_catalog("geoengine"),
         queries=generate_geoengine_queries(n_queries, seed, split="eval"),
         train_queries=generate_geoengine_queries(n_train, seed, split="train"),
         sequential=True,

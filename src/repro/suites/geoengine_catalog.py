@@ -10,6 +10,8 @@ chain structure lives in :mod:`repro.suites.geoengine`.
 
 from __future__ import annotations
 
+from repro.registry import register_catalog
+from repro.tools.catalog import ToolCatalog
 from repro.tools.registry import ToolRegistry
 from repro.tools.schema import ToolParameter as P
 from repro.tools.schema import ToolSpec as T
@@ -21,8 +23,8 @@ DATASETS = ("fmow", "xview", "sentinel2", "landsat8", "naip")
 SEASONS = ("spring", "summer", "fall", "winter")
 
 
-def build_geoengine_registry() -> ToolRegistry:
-    """Return the 46-tool GeoEngine-like registry."""
+def _geoengine_tools() -> tuple[T, ...]:
+    """The 46 GeoEngine-like tool specs (registration order is stable)."""
     tools = [
         # ------------------------------------------------------------------
         # data access (8)
@@ -244,4 +246,15 @@ def build_geoengine_registry() -> ToolRegistry:
           (),
           category="export"),
     ]
-    return ToolRegistry(tools)
+    return tuple(tools)
+
+
+@register_catalog("geoengine")
+def build_geoengine_catalog() -> ToolCatalog:
+    """The 46-tool GeoEngine-like catalog (full variant)."""
+    return ToolCatalog("geoengine", _geoengine_tools())
+
+
+def build_geoengine_registry() -> ToolRegistry:
+    """Legacy registry form of the GeoEngine catalog (same specs, order)."""
+    return ToolRegistry(_geoengine_tools())

@@ -9,16 +9,29 @@ by the simulated LLM surface here as failed executions, which is what
 separates the paper's *Success Rate* metric from *Tool Accuracy*.
 """
 
+from repro.tools.catalog import CatalogDiff, ToolCatalog, load_catalog
 from repro.tools.executor import ExecutionOutcome, SimulatedToolExecutor
 from repro.tools.registry import ToolRegistry
-from repro.tools.schema import ToolCall, ToolParameter, ToolSpec, ValidationIssue
+from repro.tools.schema import (
+    DESCRIPTION_VARIANTS,
+    ToolCall,
+    ToolParameter,
+    ToolSpec,
+    ValidationIssue,
+    derive_description,
+)
 
 __all__ = [
+    "CatalogDiff",
+    "DESCRIPTION_VARIANTS",
     "ExecutionOutcome",
     "SimulatedToolExecutor",
     "ToolCall",
+    "ToolCatalog",
     "ToolParameter",
     "ToolRegistry",
     "ToolSpec",
     "ValidationIssue",
+    "derive_description",
+    "load_catalog",
 ]

@@ -1,17 +1,37 @@
-"""Registry holding a named pool of tools."""
+"""Legacy mutable tool pool — a thin shim over :class:`ToolCatalog`.
+
+.. deprecated::
+    :class:`ToolRegistry` predates the first-class catalog API
+    (:mod:`repro.tools.catalog`).  New code should build a frozen
+    :class:`~repro.tools.catalog.ToolCatalog` (and register it with
+    :func:`repro.registry.register_catalog`); a registry is now just a
+    mutable builder whose reads delegate to the same helpers, kept so
+    hand-rolled suites keep working.  Convert with
+    :meth:`ToolRegistry.to_catalog`.  Note that a registry handed to
+    :class:`~repro.suites.base.BenchmarkSuite` is frozen into a catalog,
+    whose ``subset`` returns a catalog in registration order — callers
+    that relied on ``suite.registry.subset`` returning a list in the
+    given order must use ``suite.catalog.select`` instead.
+
+Iteration order is registration order, which keeps prompt layouts and
+embedding-index ids stable across runs — the same contract the catalog
+guarantees.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.tools.catalog import ToolCatalog, suggest_names
 from repro.tools.schema import ToolSpec
 
 
 class ToolRegistry:
-    """An ordered, name-addressed pool of :class:`ToolSpec` objects.
+    """An ordered, name-addressed, *mutable* pool of :class:`ToolSpec`.
 
-    Iteration order is registration order, which keeps prompt layouts and
-    embedding-index ids stable across runs.
+    Deprecated in favor of :class:`~repro.tools.catalog.ToolCatalog`
+    (see the module docstring); everywhere a suite is concerned the
+    registry is converted to a catalog on construction.
     """
 
     def __init__(self, tools: Iterable[ToolSpec] = ()):
@@ -23,9 +43,11 @@ class ToolRegistry:
     # mutation
     # ------------------------------------------------------------------
     def register(self, tool: ToolSpec) -> None:
-        """Add a tool; duplicate names are an error."""
+        """Add a tool; duplicate names are an actionable error."""
         if tool.name in self._tools:
-            raise ValueError(f"tool {tool.name!r} already registered")
+            raise ValueError(
+                f"tool {tool.name!r} already registered; registered tools: "
+                f"{', '.join(self._tools)}")
         self._tools[tool.name] = tool
 
     # ------------------------------------------------------------------
@@ -41,11 +63,13 @@ class ToolRegistry:
         return name in self._tools
 
     def get(self, name: str) -> ToolSpec:
-        """Return the tool called ``name`` (KeyError when absent)."""
+        """Return the tool called ``name`` (KeyError with suggestions)."""
         try:
             return self._tools[name]
         except KeyError:
-            raise KeyError(f"unknown tool {name!r}") from None
+            raise KeyError(
+                f"unknown tool {name!r}"
+                f"{suggest_names(name, self._tools)}") from None
 
     @property
     def names(self) -> list[str]:
@@ -68,6 +92,10 @@ class ToolRegistry:
         """Resolve ``names`` to specs, preserving the given order."""
         return [self.get(name) for name in names]
 
+    #: the catalog's name for the same operation, so registry and catalog
+    #: stay drop-in interchangeable at agent call sites
+    select = subset
+
     def descriptions(self) -> list[str]:
         """Description corpus in registration order (for embedding)."""
         return [tool.description for tool in self]
@@ -76,3 +104,7 @@ class ToolRegistry:
         """Concatenated JSON schemas as they appear in an LLM prompt."""
         tools = list(self) if names is None else self.subset(names)
         return "\n".join(tool.json_text() for tool in tools)
+
+    def to_catalog(self, name: str = "custom") -> ToolCatalog:
+        """Freeze this registry into a named, versioned catalog."""
+        return ToolCatalog(name=name, tools=tuple(self))

@@ -3,11 +3,47 @@
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
 #: JSON-schema-ish parameter types supported by the catalogs.
 PARAMETER_TYPES = ("string", "integer", "number", "boolean", "array")
+
+#: Description variants a catalog can present (paper Section III: fewer
+#: tools *and* shorter descriptions fit the edge context budget).
+DESCRIPTION_VARIANTS = ("full", "compressed", "minimal")
+
+_SENTENCE_BREAK = re.compile(r"(?<=[.!?])\s")
+_TRAILING_EXAMPLE = re.compile(r",\s*(?:like|such as|e\.g\.)\s[^.]*", re.IGNORECASE)
+
+
+def derive_description(text: str, variant: str) -> str:
+    """Deterministically shrink a full description to a variant.
+
+    ``compressed`` keeps the first sentence and drops trailing example
+    clauses (", like Fall 2009"); ``minimal`` keeps the first six words.
+    Both are pure functions of the input text, so a catalog rebuilt from
+    the same specs always produces the same variant corpus (and the same
+    content hash).  Explicit per-tool overrides on :class:`ToolSpec`
+    take precedence over this derivation.
+    """
+    if variant == "full":
+        return text
+    if variant not in DESCRIPTION_VARIANTS:
+        raise ValueError(
+            f"unknown description variant {variant!r}; "
+            f"expected one of {', '.join(DESCRIPTION_VARIANTS)}")
+    match = _SENTENCE_BREAK.search(text)
+    sentence = text[:match.start()] if match else text
+    compressed = _TRAILING_EXAMPLE.sub("", sentence).strip()
+    if compressed and compressed[-1] not in ".!?":
+        compressed += "."
+    if variant == "compressed":
+        return compressed or text
+    words = compressed.split()[:6]
+    minimal = " ".join(words).rstrip(".,;:!?")
+    return minimal or compressed or text
 
 
 @dataclass(frozen=True)
@@ -32,7 +68,14 @@ class ToolParameter:
             raise ValueError(f"parameter {self.name!r}: enum requires type 'string'")
 
     def accepts(self, value: Any) -> bool:
-        """Whether ``value`` satisfies this parameter's type constraint."""
+        """Whether ``value`` satisfies this parameter's type constraint.
+
+        Array values must be ``list``s, as decoded JSON arrays are.
+        Tuples are rejected on purpose: Python-side coercion turns a
+        string into a tuple of its characters (``tuple("abc")``), which
+        used to slip through array-of-string checks, and the same
+        coercion produced fake matrix rows for ``item_type="array"``.
+        """
         if self.type == "string":
             if not isinstance(value, str):
                 return False
@@ -44,12 +87,13 @@ class ToolParameter:
         if self.type == "boolean":
             return isinstance(value, bool)
         # array
-        if not isinstance(value, (list, tuple)):
+        if not isinstance(value, list):
             return False
         if self.item_type == "array":
             # one level of nesting is enough for the catalogs (matrix rows);
-            # inner element types are not constrained further
-            return all(isinstance(item, (list, tuple)) for item in value)
+            # inner element types are not constrained further, but a row
+            # must itself be a real JSON array, never a string-as-sequence
+            return all(isinstance(item, list) for item in value)
         element = ToolParameter(name=f"{self.name}[]", type=self.item_type)
         return all(element.accepts(item) for item in value)
 
@@ -61,6 +105,25 @@ class ToolParameter:
         if self.type == "array":
             schema["items"] = {"type": self.item_type}
         return schema
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; :meth:`from_dict` reconstructs an equal parameter."""
+        return {
+            "name": self.name,
+            "type": self.type,
+            "description": self.description,
+            "required": self.required,
+            "enum": list(self.enum) if self.enum is not None else None,
+            "item_type": self.item_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ToolParameter":
+        """Rebuild a parameter from :meth:`to_dict` output."""
+        data = dict(data)
+        if data.get("enum") is not None:
+            data["enum"] = tuple(data["enum"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -76,13 +139,21 @@ class ValidationIssue:
 
 @dataclass(frozen=True)
 class ToolSpec:
-    """A callable API tool: name, natural-language description, parameters."""
+    """A callable API tool: name, natural-language description, parameters.
+
+    ``compressed_description`` / ``minimal_description`` are optional
+    authored overrides for the catalog description variants; when left
+    ``None`` the variant text is derived deterministically from the full
+    description (:func:`derive_description`).
+    """
 
     name: str
     description: str
     parameters: tuple[ToolParameter, ...] = ()
     category: str = "general"
     returns: str = "result payload"
+    compressed_description: str | None = None
+    minimal_description: str | None = None
 
     def __post_init__(self):
         names = [parameter.name for parameter in self.parameters]
@@ -115,6 +186,65 @@ class ToolSpec:
                     name, f"expected {parameter.type}, got {type(value).__name__}"
                 ))
         return issues
+
+    def describe(self, variant: str = "full") -> str:
+        """The description presented under ``variant``.
+
+        Authored overrides win; otherwise the text is derived from the
+        full description.
+        """
+        if variant == "compressed" and self.compressed_description is not None:
+            return self.compressed_description
+        if variant == "minimal" and self.minimal_description is not None:
+            return self.minimal_description
+        return derive_description(self.description, variant)
+
+    def at_variant(self, variant: str) -> "ToolSpec":
+        """This tool as presented under ``variant``.
+
+        ``full`` returns ``self`` unchanged (same object, so memoized
+        JSON/token caches keep working — the bitwise-identity guarantee
+        of the default path).  Both shrunken variants drop parameter
+        descriptions (argument names and types stay, and validation is
+        unchanged); ``compressed`` keeps the description's retrieval-
+        bearing first sentence while ``minimal`` truncates it to a terse
+        label.  Every step strictly reduces the tool's prompt cost.
+        """
+        if variant == "full":
+            return self
+        parameters = tuple(
+            ToolParameter(name=p.name, type=p.type, description="",
+                          required=p.required, enum=p.enum,
+                          item_type=p.item_type)
+            for p in self.parameters)
+        return ToolSpec(
+            name=self.name, description=self.describe(variant),
+            parameters=parameters,
+            category=self.category, returns=self.returns,
+            compressed_description=self.compressed_description,
+            minimal_description=self.minimal_description,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; :meth:`from_dict` reconstructs an equal spec."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "parameters": [parameter.to_dict() for parameter in self.parameters],
+            "category": self.category,
+            "returns": self.returns,
+            "compressed_description": self.compressed_description,
+            "minimal_description": self.minimal_description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ToolSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(data)
+        data["parameters"] = tuple(
+            ToolParameter.from_dict(p) if isinstance(p, dict) else p
+            for p in data.get("parameters", ()))
+        return cls(**data)
 
     def to_json_schema(self) -> dict[str, Any]:
         """OpenAI-style function schema (what gets appended to prompts)."""

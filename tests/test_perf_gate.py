@@ -31,6 +31,8 @@ def _report(**overrides) -> dict:
         "search": {"flat_batched_ms": 0.5, "ivf_batched_ms": 2.0,
                    "pq_batched_ms": 1.3},
         "episode": {"episodes_per_s": 1_000.0},
+        "catalog": {"build_ms": 2.0, "compressed_token_ratio": 0.92,
+                    "minimal_token_ratio": 0.87},
         "grid": {"sequential_s": 0.2, "parallel_s": 0.18, "process_s": 0.5},
         "serving": {"batched_req_per_s": 2_000.0,
                     "speedup_vs_sequential": 2.2},

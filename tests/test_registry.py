@@ -3,6 +3,7 @@
 import pytest
 
 from repro.registry import (
+    CATALOGS,
     GRID_BACKENDS,
     SCHEMES,
     SERVING_BACKENDS,
@@ -10,6 +11,7 @@ from repro.registry import (
     Registry,
     SchemeContext,
     build_scheme,
+    register_catalog,
     register_scheme,
     register_suite,
     resolve_scheme,
@@ -103,6 +105,29 @@ class TestBuiltins:
     def test_builtin_serving_backends_present(self):
         for name in ("thread", "process"):
             assert name in SERVING_BACKENDS
+
+    def test_builtin_catalogs_present(self):
+        for name in ("bfcl", "geoengine", "edgehome"):
+            assert name in CATALOGS
+
+    def test_register_catalog_decorator(self):
+        @register_catalog("test-extra-catalog")
+        def build():
+            from repro.tools.catalog import ToolCatalog
+            from repro.tools.schema import ToolSpec
+
+            return ToolCatalog("test-extra-catalog",
+                               (ToolSpec("ping", "Ping the thing."),))
+
+        try:
+            assert "test-extra-catalog" in CATALOGS
+            assert CATALOGS.get("test-extra-catalog") is build
+        finally:
+            CATALOGS.unregister("test-extra-catalog")
+
+    def test_unknown_catalog_error_lists_names(self):
+        with pytest.raises(ValueError, match="registered catalogs:.*bfcl"):
+            CATALOGS.get("nope")
 
 
 class TestSchemeResolution:

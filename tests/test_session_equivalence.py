@@ -51,6 +51,53 @@ def test_legacy_and_session_paths_bitwise_identical(scheme, suite):
         assert old_episode == new_episode
 
 
+@pytest.mark.parametrize("suite_name", ["bfcl", "geoengine", "edgehome"])
+def test_catalog_full_variant_equals_pre_redesign_tool_path(suite_name):
+    """Default-variant episodes == the pre-catalog tool path, per suite.
+
+    Before the catalog redesign every suite hand-built a
+    ``ToolRegistry`` in a module-private helper; those helpers survive
+    as ``build_*_registry``.  A suite assembled the old way (registry +
+    raw query generators) must produce bitwise-identical episodes to the
+    same suite loaded through the catalog registry — the ``full``
+    variant is a pure re-plumbing, not a behavior change.
+    """
+    from repro.suites.base import BenchmarkSuite
+    from repro.suites.bfcl import generate_bfcl_queries
+    from repro.suites.bfcl_catalog import build_bfcl_registry
+    from repro.suites.edgehome import (
+        build_edgehome_registry,
+        generate_edgehome_queries,
+    )
+    from repro.suites.geoengine import generate_geoengine_queries
+    from repro.suites.geoengine_catalog import build_geoengine_registry
+
+    legacy = {
+        # (registry builder, query generator, builder's n_train, sequential)
+        "bfcl": (build_bfcl_registry, generate_bfcl_queries, 120, False),
+        "geoengine": (build_geoengine_registry, generate_geoengine_queries,
+                      120, True),
+        "edgehome": (build_edgehome_registry, generate_edgehome_queries,
+                     100, True),
+    }
+    build_registry, generate, n_train, sequential = legacy[suite_name]
+    n_queries = 6
+    old_suite = BenchmarkSuite(
+        name=suite_name,
+        registry=build_registry(),
+        queries=generate(n_queries, 0, "eval"),
+        train_queries=generate(n_train, 0, "train"),
+        sequential=sequential,
+    )
+    old = open_session(suite=old_suite).run(
+        AgentSpec(scheme="lis-k3", model=MODEL, quant=QUANT)).episodes
+    new = open_session(suite_name, n_queries=n_queries).run(
+        AgentSpec(scheme="lis-k3", model=MODEL, quant=QUANT)).episodes
+    assert len(old) == len(new) == n_queries
+    for old_episode, new_episode in zip(old, new):
+        assert old_episode == new_episode
+
+
 class TestDeprecationShims:
     def test_build_agent_warns_and_delegates(self, suite):
         with pytest.deprecated_call(match="build_agent is deprecated"):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.specs import (
     AgentSpec,
+    CatalogSpec,
     ExperimentSpec,
     GridSpec,
     ServingSpec,
@@ -15,6 +16,12 @@ from repro.specs import (
 
 ALL_SPECS = [
     SuiteSpec(name="edgehome", n_queries=12, seed=3),
+    SuiteSpec(name="edgehome", n_queries=12,
+              catalog=CatalogSpec(name="edgehome", variant="compressed")),
+    CatalogSpec(name="bfcl", variant="minimal",
+                include=("calculate_expression", "web_search")),
+    TenantSpec(name="home", suite=SuiteSpec(name="edgehome", n_queries=6),
+               catalog=CatalogSpec(name="edgehome", variant="minimal")),
     AgentSpec(scheme="lis-k3", model="hermes2-pro-8b", quant="q4_K_M",
               k=4, confidence_threshold=0.2, force_level=2,
               context_window=8192),
@@ -72,6 +79,31 @@ class TestNormalization:
         tenant = TenantSpec(name="home", suite="edgehome")
         assert tenant.suite == SuiteSpec(name="edgehome")
 
+    def test_suite_accepts_catalog_name_string(self):
+        suite = SuiteSpec(name="edgehome", catalog="edgehome")
+        assert suite.catalog == CatalogSpec(name="edgehome")
+
+    def test_tenant_accepts_catalog_string_and_dict(self):
+        tenant = TenantSpec(name="home", suite="edgehome", catalog="edgehome")
+        assert tenant.catalog == CatalogSpec(name="edgehome")
+        tenant = TenantSpec(name="home", suite="edgehome",
+                            catalog={"name": "edgehome", "variant": "minimal",
+                                     "include": None})
+        assert tenant.catalog.variant == "minimal"
+
+    def test_tenant_effective_suite_applies_catalog_override(self):
+        catalog = CatalogSpec(name="edgehome", variant="compressed")
+        tenant = TenantSpec(name="home", suite=SuiteSpec(name="edgehome"),
+                            catalog=catalog)
+        assert tenant.effective_suite().catalog == catalog
+        # no override: the suite spec passes through untouched
+        plain = TenantSpec(name="home", suite=SuiteSpec(name="edgehome"))
+        assert plain.effective_suite() is plain.suite
+
+    def test_catalog_include_accepts_comma_string(self):
+        spec = CatalogSpec(name="edgehome", include="set_alarm,turn_on_light")
+        assert spec.include == ("set_alarm", "turn_on_light")
+
     def test_experiment_accepts_suite_name_string(self):
         spec = ExperimentSpec(suite="bfcl")
         assert spec.suite == SuiteSpec(name="bfcl")
@@ -101,6 +133,38 @@ class TestValidation:
     def test_suite_name_required(self):
         with pytest.raises(ValueError, match="non-empty"):
             SuiteSpec(name="")
+
+    def test_catalog_name_required(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CatalogSpec(name="")
+
+    def test_catalog_variant_domain(self):
+        with pytest.raises(ValueError, match="full, compressed, minimal"):
+            CatalogSpec(name="edgehome", variant="tiny")
+
+    def test_catalog_variants_match_schema_constant(self):
+        # specs.py mirrors the tools-layer constant to stay import-free;
+        # this is the keep-in-sync check
+        from repro.specs import CATALOG_VARIANTS
+        from repro.tools.schema import DESCRIPTION_VARIANTS
+
+        assert CATALOG_VARIANTS == DESCRIPTION_VARIANTS
+
+    def test_catalog_empty_include_rejected(self):
+        with pytest.raises(ValueError, match="at least one tool"):
+            CatalogSpec(name="edgehome", include=())
+
+    def test_catalog_spec_load_builds_variant_catalog(self):
+        catalog = CatalogSpec(name="edgehome", variant="compressed").load()
+        assert catalog.variant == "compressed"
+        assert catalog.name == "edgehome"
+
+    def test_suite_spec_load_retools_suite(self):
+        spec = SuiteSpec(name="edgehome", n_queries=2,
+                         catalog=CatalogSpec(name="edgehome",
+                                             variant="minimal"))
+        suite = spec.load()
+        assert suite.catalog.variant == "minimal"
 
     def test_suite_n_queries_positive(self):
         with pytest.raises(ValueError, match="n_queries"):

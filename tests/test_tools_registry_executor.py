@@ -27,9 +27,31 @@ class TestToolRegistry:
         with pytest.raises(ValueError):
             registry.register(ToolSpec("alpha", "dup"))
 
+    def test_duplicate_error_lists_registered_names(self, registry):
+        with pytest.raises(ValueError, match="registered tools: alpha, beta, gamma"):
+            registry.register(ToolSpec("alpha", "dup"))
+
     def test_get_unknown(self, registry):
         with pytest.raises(KeyError):
             registry.get("delta")
+
+    def test_get_unknown_suggests_near_miss(self, registry):
+        with pytest.raises(KeyError, match="did you mean 'gamma'"):
+            registry.get("gama")
+
+    def test_get_unknown_lists_known_names(self, registry):
+        with pytest.raises(KeyError, match="known names: alpha, beta, gamma"):
+            registry.get("zzz")
+
+    def test_select_alias_matches_subset(self, registry):
+        assert registry.select(["beta", "alpha"]) == \
+            registry.subset(["beta", "alpha"])
+
+    def test_to_catalog_preserves_order_and_specs(self, registry):
+        catalog = registry.to_catalog(name="trio")
+        assert catalog.name == "trio"
+        assert catalog.names == registry.names
+        assert list(catalog) == list(registry)
 
     def test_categories(self, registry):
         assert registry.categories == ["a", "b"]

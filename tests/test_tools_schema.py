@@ -63,6 +63,27 @@ class TestToolParameter:
         parameter = ToolParameter("m", "array", item_type="array")
         assert parameter.accepts([[1.0], [2.0]])
 
+    def test_array_rejects_strings_as_sequences(self):
+        """Regression: tuple coercion turned strings into fake arrays.
+
+        ``tuple("abc")`` is ``('a', 'b', 'c')`` — it used to satisfy
+        array-of-string checks, and a coerced row satisfied the
+        one-level ``item_type="array"`` nesting check.  JSON arrays
+        decode to lists, so only lists count as arrays now.
+        """
+        arr_of_str = ToolParameter("xs", "array", item_type="string")
+        assert not arr_of_str.accepts("abc")
+        assert not arr_of_str.accepts(tuple("abc"))
+        assert not arr_of_str.accepts(("a", "b"))
+        assert arr_of_str.accepts(["a", "b"])
+
+        matrix = ToolParameter("m", "array", item_type="array")
+        assert not matrix.accepts("abc")
+        assert not matrix.accepts(["abc"])          # row is a string
+        assert not matrix.accepts([tuple("ab")])    # row is a coerced string
+        assert not matrix.accepts((["a"],))         # outer tuple
+        assert matrix.accepts([["ab", "cd"]])       # list rows stay fine
+
     def test_json_schema_shape(self):
         schema = ToolParameter("xs", "array", "numbers", item_type="number").to_json_schema()
         assert schema["type"] == "array"
@@ -108,6 +129,74 @@ class TestToolSpec:
     def test_issue_str(self, weather_tool):
         issue = weather_tool.validate_arguments({})[0]
         assert "city" in str(issue)
+
+
+class TestDescriptionVariants:
+    def test_describe_full_is_identity(self, weather_tool):
+        assert weather_tool.describe("full") == weather_tool.description
+        assert weather_tool.describe() == weather_tool.description
+
+    def test_derive_description_first_sentence(self):
+        spec = ToolSpec("t", "Get the weather. Includes wind and humidity.")
+        assert spec.describe("compressed") == "Get the weather."
+
+    def test_derive_description_drops_trailing_example(self):
+        spec = ToolSpec(
+            "t", "Filter scenes acquired during a season, like Fall 2009.")
+        assert spec.describe("compressed") == \
+            "Filter scenes acquired during a season."
+
+    def test_derive_minimal_truncates(self):
+        spec = ToolSpec(
+            "t", "Compute the monthly payment of an amortized loan from "
+                 "principal, rate and term.")
+        assert spec.describe("minimal") == "Compute the monthly payment of an"
+
+    def test_authored_overrides_win(self):
+        spec = ToolSpec("t", "A long full description of the tool.",
+                        compressed_description="Short form.",
+                        minimal_description="Tiny")
+        assert spec.describe("compressed") == "Short form."
+        assert spec.describe("minimal") == "Tiny"
+
+    def test_unknown_variant_rejected(self, weather_tool):
+        with pytest.raises(ValueError, match="unknown description variant"):
+            weather_tool.describe("huge")
+
+    def test_at_variant_full_is_same_object(self, weather_tool):
+        assert weather_tool.at_variant("full") is weather_tool
+
+    def test_at_variant_shrinks_json(self, weather_tool):
+        minimal = weather_tool.at_variant("minimal")
+        assert minimal.name == weather_tool.name
+        assert len(minimal.json_text()) < len(weather_tool.json_text())
+        # parameter names/types/enums survive, only prose is dropped
+        assert [p.name for p in minimal.parameters] == \
+            [p.name for p in weather_tool.parameters]
+        assert minimal.parameter("units").enum == ("metric", "imperial")
+        assert minimal.parameter("city").description == ""
+
+    def test_at_variant_validation_identical(self, weather_tool):
+        for variant in ("compressed", "minimal"):
+            shrunk = weather_tool.at_variant(variant)
+            assert shrunk.validate_arguments({"city": "Paris"}) == []
+            assert shrunk.validate_arguments({"city": 42}) != []
+
+
+class TestDictRoundTrip:
+    def test_parameter_round_trip(self):
+        parameter = ToolParameter("units", "string", "Unit system.",
+                                  required=False, enum=("metric", "imperial"))
+        assert ToolParameter.from_dict(parameter.to_dict()) == parameter
+
+    def test_spec_round_trip(self, weather_tool):
+        decoded = ToolSpec.from_dict(weather_tool.to_dict())
+        assert decoded == weather_tool
+        assert decoded.json_text() == weather_tool.json_text()
+
+    def test_spec_round_trip_is_json_safe(self, weather_tool):
+        payload = json.dumps(weather_tool.to_dict())
+        assert ToolSpec.from_dict(json.loads(payload)) == weather_tool
 
 
 class TestToolCall:
