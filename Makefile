@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process examples-smoke bench bench-check bench-serving bench-paper
+.PHONY: test test-process test-chaos examples-smoke bench bench-check bench-serving bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -13,6 +13,12 @@ test:
 test-process:
 	REPRO_PROCESS_WORKERS=2 $(PYTHON) -m pytest \
 		tests/test_runner_process.py tests/test_serving_equivalence.py -q
+
+## fault-injection suite (worker kills, deadlines, degradation ladder)
+test-chaos:
+	REPRO_PROCESS_WORKERS=2 $(PYTHON) -m pytest \
+		tests/test_serving_faults.py tests/test_serving_degrade.py -q
+	REPRO_PROCESS_WORKERS=2 $(PYTHON) scripts/bench_serving.py --chaos
 
 ## run the example scripts with a bounded batch (API breakage fails here)
 examples-smoke:

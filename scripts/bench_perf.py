@@ -27,7 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
-from bench_serving import bench_serving  # noqa: E402
+from bench_serving import bench_serving, bench_serving_chaos  # noqa: E402
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
 from repro.session import open_session  # noqa: E402
@@ -203,6 +203,11 @@ def bench_grid(n_queries: int) -> dict:
 
 
 def collect(repeats: int, grid_queries: int) -> dict:
+    serving = bench_serving()
+    # nested section: chaos numbers live under serving.chaos so the
+    # regression gate can guard the recoverability invariant
+    # (serving.chaos success_rate) next to the throughput metrics
+    serving["chaos"] = bench_serving_chaos()
     return {
         "schema_version": 2,
         "machine": {
@@ -216,7 +221,7 @@ def collect(repeats: int, grid_queries: int) -> dict:
         "episode": bench_episodes(repeats),
         "catalog": bench_catalog(repeats),
         "grid": bench_grid(grid_queries),
-        "serving": bench_serving(),
+        "serving": serving,
     }
 
 
@@ -256,6 +261,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"serving: {serving['batched_req_per_s']:.0f} req/s micro-batched "
           f"(x{serving['speedup_vs_sequential']:.2f} vs sequential, "
           f"p95 {serving['batched_p95_ms']:.1f} ms)")
+    chaos = serving.get("chaos")
+    if chaos:
+        print(f"chaos  : served {chaos['success_rate']:.0%} through "
+              f"{chaos['faults_injected']} worker kills "
+              f"({chaos['worker_restarts']} restarts, "
+              f"{chaos['slice_retries']} retries, "
+              f"{chaos['inline_fallbacks']} inline) at "
+              f"{chaos['req_per_s']:.0f} req/s")
     print(f"wrote {args.output}")
     return 0
 

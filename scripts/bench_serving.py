@@ -32,12 +32,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
-from repro.serving import LoadReport, run_load  # noqa: E402
+from repro.serving import FaultPlan, LoadReport, run_load  # noqa: E402
 from repro.specs import ServingSpec  # noqa: E402
 from repro.suites import load_suite  # noqa: E402
 
 #: Required batched/sequential throughput ratio (the PR's acceptance bar).
 REQUIRED_SPEEDUP = 2.0
+#: Required fraction of requests served under the chaos scenario.  The
+#: injected faults (worker SIGKILLs) are all recoverable — retried or
+#: run inline with bitwise-identical results — so anything below 1.0
+#: means the supervision machinery dropped a request.
+REQUIRED_CHAOS_SUCCESS = 1.0
 
 
 def measure_mode(suites, spec: ServingSpec, n_requests: int,
@@ -113,6 +118,50 @@ def bench_serving(n_requests: int = 512, concurrency: int = 32,
     }
 
 
+def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
+                        workers: int = 2, seed: int = 0,
+                        crash_rate: float = 0.25,
+                        suite_name: str = "edgehome") -> dict:
+    """Serve a workload on the process backend while SIGKILLing workers.
+
+    The seeded :class:`FaultPlan` kills pool workers at a fixed fraction
+    of planned groups; every injected fault is recoverable (slice retry
+    or inline fallback, bitwise-identical either way), so the guarded
+    ``success_rate`` must stay at 1.0 — a drop means the supervision
+    machinery lost a request.  Recovery throughput (``req_per_s``) and
+    the restart/retry counters are reported for trend-watching but not
+    guarded: how much latency a crash costs depends on respawn time,
+    which jitters with machine load.
+    """
+    suites = {suite_name: load_suite(suite_name)}
+    spec = ServingSpec(max_batch_size=8, max_wait_ms=2.0,
+                       execution_backend="process",
+                       execution_workers=workers,
+                       execution_retries=2, retry_backoff_ms=20.0,
+                       slice_timeout_s=30.0)
+    plan = FaultPlan(seed=seed, worker_crash_rate=crash_rate)
+    report = run_load(suites, spec.to_config(), n_requests=n_requests,
+                      concurrency=concurrency, faults=plan,
+                      tolerate_errors=True)
+    metrics = report.gateway_metrics
+    return {
+        "suite": suite_name,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "workers": workers,
+        "seed": seed,
+        "worker_crash_rate": crash_rate,
+        "faults_injected": metrics["faults_injected"],
+        "worker_restarts": metrics["worker_restarts"],
+        "slice_retries": metrics["slice_retries"],
+        "inline_fallbacks": metrics["inline_fallbacks"],
+        "requests_failed": report.n_errors,
+        "success_rate": report.success_rate,
+        "req_per_s": report.throughput_rps,
+        "p95_ms": report.latency_p95_ms,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n-requests", type=int, default=512)
@@ -126,7 +175,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="optional JSON file for the serving metrics")
     parser.add_argument("--no-assert", action="store_true",
                         help="report without enforcing the >=2x criterion")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the fault-injection scenario instead of "
+                             "the throughput comparison")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="FaultPlan seed for --chaos")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        row = bench_serving_chaos(concurrency=min(args.concurrency, 8),
+                                  seed=args.seed, suite_name=args.suite)
+        print(f"serving chaos ({row['suite']}, {row['n_requests']} requests, "
+              f"seed {row['seed']}, crash rate {row['worker_crash_rate']:.0%}):")
+        print(f"  faults {row['faults_injected']} | restarts "
+              f"{row['worker_restarts']} | slice retries {row['slice_retries']} "
+              f"| inline fallbacks {row['inline_fallbacks']}")
+        print(f"  served {row['success_rate']:.0%} at {row['req_per_s']:.0f} "
+              f"req/s (p95 {row['p95_ms']:.1f} ms)")
+        if args.output:
+            Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        if not args.no_assert:
+            assert row["success_rate"] >= REQUIRED_CHAOS_SUCCESS, (
+                f"chaos run served only {row['success_rate']:.0%} of requests "
+                f"(required {REQUIRED_CHAOS_SUCCESS:.0%}: every injected "
+                f"fault is recoverable)")
+            print("OK: all requests served through injected worker crashes")
+        return 0
 
     row = bench_serving(
         n_requests=args.n_requests, concurrency=args.concurrency,

@@ -42,7 +42,20 @@ TRACKED_METRICS = [
     # batched_p95_ms is reported in BENCH_perf.json but not guarded:
     # tail latency of a closed-loop load test jitters far beyond the
     # throughput tolerance on a shared machine
+    # recoverability invariant: the chaos scenario's faults are all
+    # recoverable, so the served fraction must not drop
+    ("serving.chaos", "success_rate", True),
 ]
+
+
+def lookup(report: dict, section: str, metric: str):
+    """Resolve a possibly dotted section path (``serving.chaos``)."""
+    node = report
+    for part in section.split("."):
+        node = node.get(part)
+        if not isinstance(node, dict):
+            return None
+    return node.get(metric)
 
 
 def compare(baseline: dict, fresh: dict,
@@ -50,8 +63,8 @@ def compare(baseline: dict, fresh: dict,
     """Return ``(metric, baseline, fresh, ratio)`` rows that regressed."""
     regressions = []
     for section, metric, higher_is_better in TRACKED_METRICS:
-        base_value = baseline.get(section, {}).get(metric)
-        fresh_value = fresh.get(section, {}).get(metric)
+        base_value = lookup(baseline, section, metric)
+        fresh_value = lookup(fresh, section, metric)
         if base_value is None or fresh_value is None or base_value <= 0:
             continue
         ratio = fresh_value / base_value
@@ -77,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
 
     regressions = compare(baseline, fresh, args.tolerance)
     checked = [f"{section}.{metric}" for section, metric, _ in TRACKED_METRICS
-               if baseline.get(section, {}).get(metric) is not None]
+               if lookup(baseline, section, metric) is not None]
     print(f"checked {len(checked)} metrics against {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     if not regressions:

@@ -214,6 +214,40 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replayable chaos run: serve a workload while injecting faults."""
+    from repro.serving import FaultPlan, ServingConfig, run_load
+    from repro.suites import load_suite
+
+    config = ServingConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=2.0,
+        execution_backend="process" if args.process else "thread",
+        execution_workers=args.workers,
+        timeout_ms=args.timeout_ms,
+        retry_backoff_ms=20.0,
+    )
+    plan = FaultPlan(seed=args.seed,
+                     worker_crash_rate=args.crash_rate if args.process else 0.0,
+                     slow_batch_rate=args.slow_rate, slow_batch_ms=250.0,
+                     exception_rate=args.exception_rate)
+    report = run_load({args.suite: load_suite(args.suite)}, config,
+                      n_requests=args.requests, concurrency=args.concurrency,
+                      faults=plan, tolerate_errors=True)
+    metrics = report.gateway_metrics
+    print(f"chaos seed {args.seed}: {report.n_requests} requests, "
+          f"{report.n_errors} failed ({report.success_rate:.0%} served)")
+    print(f"  faults injected: {metrics['faults_injected_by_hook'] or 'none'}")
+    print(f"  worker restarts {metrics['worker_restarts']} | slice retries "
+          f"{metrics['slice_retries']} | inline fallbacks "
+          f"{metrics['inline_fallbacks']} | quarantines "
+          f"{metrics['batch_quarantines']} | deadline timeouts "
+          f"{metrics['deadline_timeouts']}")
+    print(f"  p95 latency {report.latency_p95_ms:.1f} ms at "
+          f"{report.throughput_rps:.1f} req/s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Less-is-More reproduction CLI")
@@ -292,6 +326,26 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--power-mode", default="MAXN",
                                 choices=["MAXN", "30W", "15W"])
     profile_parser.set_defaults(func=cmd_profile)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="serve a workload under seeded fault injection")
+    chaos_parser.add_argument("--suite", default="edgehome")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="FaultPlan seed (same seed, same faults)")
+    chaos_parser.add_argument("--requests", type=int, default=32)
+    chaos_parser.add_argument("--concurrency", type=int, default=8)
+    chaos_parser.add_argument("--batch-size", type=int, default=8)
+    chaos_parser.add_argument("--process", action="store_true",
+                              help="use the supervised process pool backend")
+    chaos_parser.add_argument("--workers", type=int, default=None)
+    chaos_parser.add_argument("--timeout-ms", type=float, default=None,
+                              help="end-to-end per-request deadline")
+    chaos_parser.add_argument("--crash-rate", type=float, default=0.2,
+                              help="worker SIGKILL probability per group "
+                                   "(process backend only)")
+    chaos_parser.add_argument("--slow-rate", type=float, default=0.0)
+    chaos_parser.add_argument("--exception-rate", type=float, default=0.1)
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

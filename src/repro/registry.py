@@ -182,6 +182,15 @@ CATALOGS = Registry("catalog", builtin_modules=(
     "repro.suites.edgehome"),
     builtin_names=("bfcl", "geoengine", "edgehome"))
 
+#: fault hook name -> one-line description of what an injected fault
+#: does there.  The chaos harness (:mod:`repro.serving.faults`) fires
+#: deterministic faults only at registered hook points, so the set of
+#: places a :class:`~repro.serving.faults.FaultPlan` can touch is
+#: enumerable — third-party serving stages register theirs here.
+FAULT_HOOKS = Registry("fault hook", builtin_modules=(
+    "repro.serving.faults",),
+    builtin_names=("process.execute", "batch.process", "gateway.group"))
+
 
 def register_scheme(name: str, factory: Callable | None = None, *,
                     replace: bool = False):
@@ -210,6 +219,17 @@ def register_serving_backend(name: str, factory: Callable | None = None, *,
                              replace: bool = False):
     """Register a serving execution-stage factory ``f(config)``."""
     return SERVING_BACKENDS.register(name, factory, replace=replace)
+
+
+def register_fault_hook(name: str, description: str | None = None, *,
+                        replace: bool = False):
+    """Register a chaos-injection hook point by name.
+
+    ``description`` documents what a fired fault does at the hook; the
+    fault injector only fires at registered hooks, so chaos suites can
+    enumerate (and third-party stages extend) the injectable surface.
+    """
+    return FAULT_HOOKS.register(name, description, replace=replace)
 
 
 def register_catalog(name: str, builder: Callable | None = None, *,

@@ -30,7 +30,19 @@ from repro.serving.batcher import (
     SchedulerStoppedError,
 )
 from repro.serving.config import ServingConfig
-from repro.serving.gateway import Gateway, ServingResponse, WorkItem
+from repro.serving.degrade import DegradationController, DegradationPolicy
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFaultError,
+)
+from repro.serving.gateway import (
+    DeadlineExceededError,
+    Gateway,
+    ServingResponse,
+    TenantShedError,
+    WorkItem,
+)
 from repro.serving.loadgen import (
     LoadReport,
     LoadSpec,
@@ -38,13 +50,22 @@ from repro.serving.loadgen import (
     run_closed_loop,
     run_load,
 )
-from repro.serving.process import ProcessEpisodeExecutor
+from repro.serving.process import (
+    ProcessEpisodeExecutor,
+    SupervisedEpisodeExecutor,
+)
 from repro.serving.session import SessionManager, TenantSession, UnknownTenantError
 from repro.serving.telemetry import Telemetry, percentile
 
 __all__ = [
     "BatchScheduler",
+    "DeadlineExceededError",
+    "DegradationController",
+    "DegradationPolicy",
+    "FaultInjector",
+    "FaultPlan",
     "Gateway",
+    "InjectedFaultError",
     "LoadReport",
     "LoadSpec",
     "PendingRequest",
@@ -54,7 +75,9 @@ __all__ = [
     "ServingConfig",
     "ServingResponse",
     "SessionManager",
+    "SupervisedEpisodeExecutor",
     "Telemetry",
+    "TenantShedError",
     "TenantSession",
     "UnknownTenantError",
     "WorkItem",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -22,7 +23,20 @@ from repro.serving.telemetry import Telemetry
 
 
 class QueueFullError(RuntimeError):
-    """Admission control bounced the request: the queue is at capacity."""
+    """Admission control bounced the request: the queue is at capacity.
+
+    Carries the queue state at rejection time so operators can see *who*
+    is flooding: :attr:`depth` (total waiting), :attr:`capacity`, and
+    :attr:`per_tenant` (tenant -> waiting count, busiest first).
+    """
+
+    def __init__(self, message: str, *, depth: int | None = None,
+                 capacity: int | None = None,
+                 per_tenant: dict[str, int] | None = None):
+        super().__init__(message)
+        self.depth = depth
+        self.capacity = capacity
+        self.per_tenant = dict(per_tenant or {})
 
 
 class SchedulerStoppedError(RuntimeError):
@@ -55,6 +69,10 @@ class BatchScheduler:
         Batch/queue tunables (:class:`ServingConfig`).
     telemetry:
         Recorder for queue depth, batch sizes and rejections.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector`; when set,
+        the ``batch.process`` hook fires on the worker thread before each
+        batch runs (chaos testing only).
     """
 
     def __init__(
@@ -62,10 +80,12 @@ class BatchScheduler:
         process: Callable[[list[PendingRequest]], list[Any]],
         config: ServingConfig,
         telemetry: Telemetry | None = None,
+        faults=None,
     ):
         self._process = process
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._faults = faults
         self._queues: dict[str, deque[PendingRequest]] = {}
         self._rr_offset = 0
         self._total_pending = 0
@@ -73,6 +93,7 @@ class BatchScheduler:
         self._task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping = False
+        self._aborting = False
         # one worker: episodes are GIL-bound pure Python, so extra threads
         # only add contention; the win comes from batching the kernels
         self._worker = _SingleWorker()
@@ -86,17 +107,41 @@ class BatchScheduler:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._stopping = False
+        self._aborting = False
         self._task = self._loop.create_task(self._run(), name="batch-scheduler")
 
-    async def stop(self) -> None:
-        """Drain the queue, finish in-flight batches, stop the loop."""
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the loop; finish or fail what is still waiting.
+
+        With ``drain=True`` (the default) queued requests are flushed in
+        final batches before the loop exits.  With ``drain=False`` —
+        emergency shutdown — every queued request fails fast with
+        :class:`SchedulerStoppedError` instead of being processed.
+        Either way no pending future is ever left hanging: anything
+        still queued when the loop exits (including after a scheduler
+        crash) is failed on the way out.
+        """
         if self._task is None:
             return
         self._stopping = True
+        self._aborting = not drain
         self._wake.set()
-        await self._task
-        self._task = None
-        self._worker.shutdown()
+        try:
+            await self._task
+        finally:
+            self._task = None
+            self._fail_pending(SchedulerStoppedError(
+                "scheduler stopped before this request was processed"))
+            self._worker.shutdown()
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Fail every still-queued request (no future may hang)."""
+        for queue in self._queues.values():
+            while queue:
+                request = queue.popleft()
+                self._total_pending -= 1
+                if not request.future.done():
+                    request.future.set_exception(exc)
 
     @property
     def pending(self) -> int:
@@ -116,8 +161,19 @@ class BatchScheduler:
             raise SchedulerStoppedError("scheduler is not running")
         if self._total_pending >= self.config.queue_capacity:
             self.telemetry.record_rejection()
+            occupancy = dict(sorted(
+                ((name, len(queue)) for name, queue in self._queues.items()
+                 if queue),
+                key=lambda item: item[1], reverse=True))
+            breakdown = ", ".join(f"{name}={count}"
+                                  for name, count in occupancy.items())
             raise QueueFullError(
-                f"queue at capacity ({self.config.queue_capacity} waiting)")
+                f"queue at capacity ({self._total_pending}/"
+                f"{self.config.queue_capacity} waiting; per tenant: "
+                f"{breakdown or 'none'})",
+                depth=self._total_pending,
+                capacity=self.config.queue_capacity,
+                per_tenant=occupancy)
         future = self._loop.create_future()
         request = PendingRequest(tenant=tenant, payload=payload, future=future,
                                  enqueued_at=self._loop.time())
@@ -132,6 +188,8 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     async def _run(self) -> None:
         while True:
+            if self._aborting:
+                return  # stop(drain=False): stop() fails what is queued
             if self._total_pending == 0:
                 if self._stopping:
                     return
@@ -152,6 +210,8 @@ class BatchScheduler:
                     await asyncio.wait_for(self._wake.wait(), timeout=remaining)
                 except asyncio.TimeoutError:
                     break
+            if self._aborting:
+                return
 
             batch = self._cut_batch()
             if not batch:
@@ -160,23 +220,57 @@ class BatchScheduler:
             try:
                 results = await self._loop.run_in_executor(
                     self._worker, self._process_batch, batch)
-            except Exception as exc:  # noqa: BLE001 - fail the whole batch
-                for request in batch:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
+            except Exception as exc:  # noqa: BLE001 - quarantine, then fail
+                await self._quarantine(batch, exc)
                 continue
-            for request, result in zip(batch, results):
-                if request.future.done():
-                    continue
-                # processors may fail a subset of the batch by returning
-                # an exception in that request's slot (see the gateway's
-                # per-group containment)
-                if isinstance(result, BaseException):
-                    request.future.set_exception(result)
-                else:
-                    request.future.set_result(result)
+            self._deliver(batch, results)
+
+    def _deliver(self, batch: list[PendingRequest], results: list[Any]) -> None:
+        for request, result in zip(batch, results):
+            if request.future.done():
+                continue
+            # processors may fail a subset of the batch by returning
+            # an exception in that request's slot (see the gateway's
+            # per-group containment)
+            if isinstance(result, BaseException):
+                request.future.set_exception(result)
+            else:
+                request.future.set_result(result)
+
+    async def _quarantine(self, batch: list[PendingRequest],
+                          exc: Exception) -> None:
+        """Failure isolation: re-run a failed batch request-by-request.
+
+        A processor exception for a multi-request batch says *something*
+        in the batch is poisoned — not that every co-batched request is.
+        Each request is re-processed alone (the kernels are
+        batch-invariant, so a singleton run returns the same result the
+        batch would have), and only the requests that still fail carry
+        the exception; a single-request batch fails directly.
+        """
+        if len(batch) == 1:
+            if not batch[0].future.done():
+                batch[0].future.set_exception(exc)
+            return
+        self.telemetry.record_batch_quarantine(len(batch))
+        for request in batch:
+            if request.future.done():
+                continue
+            try:
+                results = await self._loop.run_in_executor(
+                    self._worker, self._process_batch, [request])
+            except Exception as solo_exc:  # noqa: BLE001 - this one is poisoned
+                if not request.future.done():
+                    request.future.set_exception(solo_exc)
+            else:
+                self._deliver([request], results)
 
     def _process_batch(self, batch: list[PendingRequest]) -> list[Any]:
+        if self._faults is not None:
+            action = self._faults.decide("batch.process")
+            if action is not None and action.kind == "slow":
+                self.telemetry.record_fault("batch.process")
+                time.sleep(action.sleep_s)
         results = self._process(batch)
         if len(results) != len(batch):
             raise RuntimeError(
@@ -208,10 +302,15 @@ class BatchScheduler:
                 if not queue:
                     continue
                 request = queue.popleft()
-                request.dequeued_at = now
-                batch.append(request)
                 self._total_pending -= 1
                 progressed = True
+                if request.future.done():
+                    # abandoned while queued (end-to-end deadline expired
+                    # and Gateway.submit cancelled the future): executing
+                    # it would be pure waste — drop it here
+                    continue
+                request.dequeued_at = now
+                batch.append(request)
                 if len(batch) >= self.config.max_batch_size:
                     break
             if not progressed:
@@ -261,10 +360,29 @@ class _SingleWorker:
             except BaseException as exc:  # noqa: BLE001 - propagate via future
                 future.set_exception(exc)
 
-    def shutdown(self):
+    def shutdown(self, join_timeout_s: float = 5.0):
+        """Stop the worker thread; raise if it fails to join.
+
+        A worker that outlives the join timeout is stuck inside a
+        processor (wedged pool, deadlocked lock, runaway episode).
+        Silently proceeding would leak the thread *and* hide the hang —
+        instead the error carries the worker's current stack so the
+        operator sees exactly where it is stuck.
+        """
         self._shutdown = True
         self._available.release()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=join_timeout_s)
+            if thread.is_alive():
+                import sys
+                import traceback
+
+                frame = sys._current_frames().get(thread.ident)
+                stack = ("".join(traceback.format_stack(frame))
+                         if frame is not None else "<stack unavailable>")
+                raise RuntimeError(
+                    f"serving batch worker failed to join within "
+                    f"{join_timeout_s:g}s; it is stuck at:\n{stack}")
             self._thread = None
         self._shutdown = False

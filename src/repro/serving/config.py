@@ -43,6 +43,34 @@ class ServingConfig:
     execution_workers:
         Process count for the ``"process"`` backend (default: one per
         CPU).  Ignored by the thread backend.
+    timeout_ms:
+        End-to-end deadline per request, enforced by
+        :meth:`~repro.serving.gateway.Gateway.submit` from admission
+        through execution: a request that has not completed within this
+        budget fails with
+        :class:`~repro.serving.gateway.DeadlineExceededError` and — if
+        it is still queued — is dropped before the next batch is cut, so
+        no client future can hang forever behind a stalled worker.
+        ``None`` (the default) disables the deadline.
+    worker_init_timeout_s:
+        How long :meth:`~repro.serving.process.ProcessEpisodeExecutor.start`
+        waits for every worker process to reach the init barrier before
+        declaring the pool dead (the error reports how many workers made
+        it).  Also bounds each respawn attempt after a worker crash.
+    execution_retries:
+        How many times the supervised process stage resubmits a failed
+        worker slice (bounded backoff between attempts) before running
+        it inline on the batch worker.  Results are bitwise identical
+        either way — episodes are deterministic from plan + seeds — so
+        this trades only latency against pool pressure.
+    retry_backoff_ms:
+        Base backoff between slice retries; attempt ``n`` waits
+        ``n * retry_backoff_ms``.
+    slice_timeout_s:
+        Upper bound on one worker slice; a slice that exceeds it is
+        treated like a worker crash (retried, then run inline) so a
+        wedged worker cannot strand its micro-batch.  ``None`` disables
+        the bound.
     plan_cache_size:
         When > 0, memoize up to this many ``(tenant, query, scheme,
         model, quant) -> plan`` results in an LRU cache, so a repeated
@@ -62,6 +90,11 @@ class ServingConfig:
     execution_backend: str = "thread"
     execution_workers: int | None = None
     plan_cache_size: int = 0
+    timeout_ms: float | None = None
+    worker_init_timeout_s: float = 60.0
+    execution_retries: int = 2
+    retry_backoff_ms: float = 50.0
+    slice_timeout_s: float | None = 30.0
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -81,10 +114,31 @@ class ServingConfig:
         if self.plan_cache_size < 0:
             raise ValueError(
                 f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
+        if self.timeout_ms is not None and self.timeout_ms <= 0.0:
+            raise ValueError(
+                f"timeout_ms must be > 0 (or None), got {self.timeout_ms}")
+        if self.worker_init_timeout_s <= 0.0:
+            raise ValueError(
+                f"worker_init_timeout_s must be > 0, "
+                f"got {self.worker_init_timeout_s}")
+        if self.execution_retries < 0:
+            raise ValueError(
+                f"execution_retries must be >= 0, got {self.execution_retries}")
+        if self.retry_backoff_ms < 0.0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}")
+        if self.slice_timeout_s is not None and self.slice_timeout_s <= 0.0:
+            raise ValueError(
+                f"slice_timeout_s must be > 0 (or None), "
+                f"got {self.slice_timeout_s}")
 
     @property
     def max_wait_s(self) -> float:
         return self.max_wait_ms / 1e3
+
+    @property
+    def timeout_s(self) -> float | None:
+        return self.timeout_ms / 1e3 if self.timeout_ms is not None else None
 
 
 @register_serving_backend("thread")

@@ -1,0 +1,216 @@
+"""Closed-loop degradation: trade answer richness for survival under load.
+
+CarbonCall-style admission control (arXiv 2504.20348) as a feedback
+controller: watch queue depth and tail latency through the gateway's
+:class:`~repro.serving.telemetry.Telemetry`, and when pressure stays
+high, step every tenant down a ladder of progressively cheaper serving
+configurations —
+
+``full`` → ``compressed`` catalog → ``minimal`` catalog → reduced-``k``
+scheme → ``shed``
+
+— then climb back up one rung at a time once pressure clears.  The
+catalog rungs reuse :meth:`~repro.serving.gateway.Gateway.update_catalog`
+(hot-swap, plan-cache invalidation and warm-before-swap included); the
+reduced-``k`` rung reroutes default traffic through a cheaper scheme
+cell; the last rung sheds the tenant at admission.  Every transition is
+counted in telemetry (``degrade_transitions``).
+
+The controller is deliberately synchronous at its core —
+:meth:`DegradationController.tick` takes pressure readings as plain
+numbers — so tests drive the ladder deterministically without any clock
+or traffic; :meth:`DegradationController.run` is the thin async loop the
+gateway starts when constructed with a :class:`DegradationPolicy`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+#: the ladder, cheapest-last; per-tenant ladders may skip the catalog
+#: rungs when the tenant's catalog is not the ``full`` variant (variants
+#: derive from full descriptions only)
+RUNGS = ("full", "compressed", "minimal", "reduced-k", "shed")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds and knobs of the degradation feedback loop.
+
+    Parameters
+    ----------
+    queue_high:
+        Queue depth at or above which one :meth:`tick` steps every
+        tenant down a rung.
+    queue_low:
+        Queue depth at or below which a tick counts toward recovery;
+        between ``queue_low`` and ``queue_high`` the ladder holds and
+        the recovery streak resets (hysteresis).
+    p95_high_ms:
+        Optional latency trigger: when set, a p95 at or above it is
+        treated as high pressure even if the queue is short, and
+        recovery additionally requires p95 below it.
+    recovery_ticks:
+        Consecutive clear ticks required before stepping tenants back
+        up one rung.
+    reduced_k_scheme:
+        Scheme override installed at the ``reduced-k`` rung (any
+        registered scheme; parameterized ``lis-k<N>`` names work).
+    interval_ms:
+        Poll period of the async :meth:`DegradationController.run` loop.
+    """
+
+    queue_high: int = 16
+    queue_low: int = 2
+    p95_high_ms: float | None = None
+    recovery_ticks: int = 3
+    reduced_k_scheme: str = "lis-k1"
+    interval_ms: float = 100.0
+
+    def __post_init__(self):
+        if self.queue_high < 1:
+            raise ValueError(f"queue_high must be >= 1, got {self.queue_high}")
+        if not 0 <= self.queue_low < self.queue_high:
+            raise ValueError(
+                f"queue_low must be in [0, queue_high), got {self.queue_low}")
+        if self.p95_high_ms is not None and self.p95_high_ms <= 0.0:
+            raise ValueError(
+                f"p95_high_ms must be > 0 (or None), got {self.p95_high_ms}")
+        if self.recovery_ticks < 1:
+            raise ValueError(
+                f"recovery_ticks must be >= 1, got {self.recovery_ticks}")
+        if self.interval_ms <= 0.0:
+            raise ValueError(
+                f"interval_ms must be > 0, got {self.interval_ms}")
+
+    @property
+    def interval_s(self) -> float:
+        return self.interval_ms / 1e3
+
+
+class DegradationController:
+    """Steps tenants down/up the degradation ladder as pressure moves.
+
+    One controller per gateway.  All rung mutations go through the
+    gateway's public degradation controls (``update_catalog``,
+    ``set_scheme_override``, ``shed_tenant`` and their inverses), so an
+    operator can read the same state the controller writes.
+    """
+
+    def __init__(self, gateway, policy: DegradationPolicy):
+        self.gateway = gateway
+        self.policy = policy
+        self._rungs: dict[str, int] = {}          # tenant -> ladder index
+        self._ladders: dict[str, tuple[str, ...]] = {}
+        self._base_catalogs: dict[str, object] = {}
+        self._clear_streak = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def rung(self, tenant: str) -> str:
+        """The tenant's current rung name (``"full"`` when undegraded)."""
+        ladder = self._ladders.get(tenant)
+        if ladder is None:
+            return RUNGS[0]
+        return ladder[self._rungs.get(tenant, 0)]
+
+    def status(self) -> dict[str, str]:
+        """``{tenant: rung}`` for every registered tenant."""
+        return {tenant: self.rung(tenant)
+                for tenant in self.gateway.sessions.tenant_names}
+
+    # ------------------------------------------------------------------
+    # the feedback loop
+    # ------------------------------------------------------------------
+    def tick(self, depth: int | None = None,
+             p95_ms: float | None = None) -> None:
+        """One control step; pass readings explicitly to drive it in tests.
+
+        ``depth`` defaults to the scheduler's live queue depth and
+        ``p95_ms`` to the telemetry snapshot's ``latency_p95_ms`` (only
+        measured when the policy sets ``p95_high_ms``).
+        """
+        policy = self.policy
+        if depth is None:
+            depth = self.gateway.scheduler.pending
+        if p95_ms is None and policy.p95_high_ms is not None:
+            p95_ms = self.gateway.telemetry.snapshot()["latency_p95_ms"]
+        latency_high = (policy.p95_high_ms is not None
+                        and (p95_ms or 0.0) >= policy.p95_high_ms)
+        if depth >= policy.queue_high or latency_high:
+            self._clear_streak = 0
+            for tenant in self.gateway.sessions.tenant_names:
+                self._step(tenant, +1)
+        elif depth <= policy.queue_low and not latency_high:
+            self._clear_streak += 1
+            if self._clear_streak >= policy.recovery_ticks:
+                self._clear_streak = 0
+                for tenant in self.gateway.sessions.tenant_names:
+                    self._step(tenant, -1)
+        else:
+            # in-between zone: hold the ladder, restart the recovery
+            # streak so a brief dip cannot mask sustained pressure
+            self._clear_streak = 0
+
+    async def run(self) -> None:
+        """Poll-and-tick loop; cancelled by ``Gateway.stop``.
+
+        Ticks run on a worker thread (catalog-variant swaps re-index the
+        Search Levels, which must not stall the event loop's admissions).
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.policy.interval_s)
+            await loop.run_in_executor(None, self.tick)
+
+    # ------------------------------------------------------------------
+    # rung transitions
+    # ------------------------------------------------------------------
+    def _ladder(self, tenant: str) -> tuple[str, ...]:
+        ladder = self._ladders.get(tenant)
+        if ladder is None:
+            catalog = self.gateway.sessions.get(tenant).suite.catalog
+            if getattr(catalog, "variant", None) == "full":
+                self._base_catalogs[tenant] = catalog
+                ladder = RUNGS
+            else:
+                # variants derive from full descriptions only; skip the
+                # catalog rungs for a tenant already serving a variant
+                ladder = (RUNGS[0], "reduced-k", "shed")
+            self._ladders[tenant] = ladder
+        return ladder
+
+    def _step(self, tenant: str, direction: int) -> None:
+        ladder = self._ladder(tenant)
+        old = self._rungs.get(tenant, 0)
+        new = min(max(old + direction, 0), len(ladder) - 1)
+        if new == old:
+            return
+        self._enter(tenant, ladder, old, new)
+        self._rungs[tenant] = new
+        self.gateway.telemetry.record_degradation(
+            tenant, ladder[new], "down" if direction > 0 else "up")
+
+    def _enter(self, tenant: str, ladder: tuple[str, ...],
+               old: int, new: int) -> None:
+        """Apply the side effects of moving ``tenant`` from rung to rung."""
+        gateway = self.gateway
+        if ladder[old] == "shed":
+            gateway.unshed_tenant(tenant)
+        if ladder[old] == "reduced-k" and ladder[new] != "shed":
+            gateway.clear_scheme_override(tenant)
+        rung = ladder[new]
+        if rung == "shed":
+            gateway.shed_tenant(tenant)
+        elif rung == "reduced-k":
+            gateway.set_scheme_override(tenant, self.policy.reduced_k_scheme)
+        elif rung in ("compressed", "minimal"):
+            if ladder[old] != "reduced-k":
+                # coming up from reduced-k the catalog is already at
+                # this variant; skip the redundant (re-indexing) swap
+                base = self._base_catalogs[tenant]
+                gateway.update_catalog(tenant, base.at(rung))
+        elif rung == RUNGS[0] and "compressed" in ladder:
+            gateway.update_catalog(tenant, self._base_catalogs[tenant])

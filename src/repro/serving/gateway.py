@@ -12,6 +12,7 @@ identical to running the same query through the sequential
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import OrderedDict
@@ -21,9 +22,30 @@ from repro.core.episode import EpisodeResult
 from repro.registry import SERVING_BACKENDS
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
+from repro.serving.faults import InjectedFaultError, as_injector
 from repro.serving.session import SessionManager
 from repro.serving.telemetry import Telemetry
 from repro.suites.base import Query
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's end-to-end deadline (``timeout_ms``) expired.
+
+    Raised by :meth:`Gateway.submit`; the abandoned request is dropped
+    from the queue before the next batch is cut (already-executing work
+    finishes but its result is discarded), so a stalled executor can
+    never hang a client future forever.
+    """
+
+
+class TenantShedError(RuntimeError):
+    """The tenant is shed by the degradation controller; retry later.
+
+    The final rung of the CarbonCall degradation ladder: under sustained
+    overload a tenant's requests are rejected at admission (cheapest
+    possible failure) until pressure clears and the controller steps the
+    tenant back up.
+    """
 
 
 @dataclass(frozen=True)
@@ -123,15 +145,27 @@ class Gateway:
         sessions: SessionManager,
         config: ServingConfig | None = None,
         telemetry: Telemetry | None = None,
+        faults=None,
+        degradation=None,
     ):
         self.sessions = sessions
         self.config = config if config is not None else ServingConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._faults = as_injector(faults)
         self.scheduler = BatchScheduler(self._process_batch, self.config,
-                                        telemetry=self.telemetry)
+                                        telemetry=self.telemetry,
+                                        faults=self._faults)
         self._process_stage = None
         self._plan_cache = (_PlanCache(self.config.plan_cache_size)
                             if self.config.plan_cache_size > 0 else None)
+        # degradation state, written by the DegradationController (or an
+        # operator) and read by submit(); plain attribute swaps are
+        # atomic under the GIL and submit() runs on the event loop only
+        self._shed_tenants: frozenset[str] = frozenset()
+        self._scheme_overrides: dict[str, str] = {}
+        self._degradation_policy = degradation
+        self.degradation = None  # controller, built in start() when enabled
+        self._degradation_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -144,17 +178,35 @@ class Gateway:
         stage_factory = SERVING_BACKENDS.get(self.config.execution_backend)
         self._process_stage = stage_factory(self.config)
         if self._process_stage is not None:
+            if hasattr(self._process_stage, "bind"):
+                # the supervised stage records restarts/retries in the
+                # gateway's telemetry, consults the fault injector, and
+                # re-primes respawned pools from the *current* runners
+                self._process_stage.bind(telemetry=self.telemetry,
+                                         faults=self._faults,
+                                         runners_fn=self.sessions.runners)
             # prime the worker pool with each tenant's warmed runner
             # (suite + Search Levels + embedder snapshot) *before* the
             # scheduler starts, so all process spawning happens while
             # only this coroutine is active
-            self._process_stage.start({
-                name: self.sessions.get(name).runner
-                for name in self.sessions.tenant_names
-            })
+            self._process_stage.start(self.sessions.runners())
         await self.scheduler.start()
+        if self._degradation_policy is not None:
+            from repro.serving.degrade import DegradationController
+
+            self.degradation = DegradationController(
+                self, self._degradation_policy)
+            self._degradation_task = asyncio.get_running_loop().create_task(
+                self.degradation.run(), name="degradation-controller")
 
     async def stop(self) -> None:
+        if self._degradation_task is not None:
+            self._degradation_task.cancel()
+            try:
+                await self._degradation_task
+            except asyncio.CancelledError:
+                pass
+            self._degradation_task = None
         await self.scheduler.stop()
         if self._process_stage is not None:
             self._process_stage.shutdown()
@@ -177,26 +229,52 @@ class Gateway:
         scheme: str | None = None,
         model: str | None = None,
         quant: str | None = None,
+        timeout_ms: float | None = None,
     ) -> ServingResponse:
         """Serve one function-calling request end to end.
 
         ``query`` may be a :class:`Query` or a qid string resolved
-        against the tenant's suite.  Raises
+        against the tenant's suite.  ``timeout_ms`` overrides the
+        config's end-to-end deadline for this request.  Raises
         :class:`~repro.serving.session.UnknownTenantError` for unknown
-        tenants and :class:`~repro.serving.batcher.QueueFullError` when
-        admission control rejects the request.
+        tenants, :class:`~repro.serving.batcher.QueueFullError` when
+        admission control rejects the request, :class:`TenantShedError`
+        while the degradation controller sheds the tenant, and
+        :class:`DeadlineExceededError` when the deadline expires before
+        a result lands.
         """
+        if tenant in self._shed_tenants:
+            self.telemetry.record_shed_request(tenant)
+            raise TenantShedError(
+                f"tenant {tenant!r} is shed under overload; retry later")
         session = self.sessions.get(tenant)
         item = WorkItem(
             query=session.resolve_query(query),
-            scheme=scheme or self.config.default_scheme,
+            # a degraded tenant's default traffic runs the reduced-k
+            # scheme; explicit per-request schemes are honored as-is
+            scheme=scheme or self._scheme_overrides.get(tenant)
+            or self.config.default_scheme,
             model=model or self.config.default_model,
             quant=quant or self.config.default_quant,
         )
+        timeout_s = (timeout_ms / 1e3 if timeout_ms is not None
+                     else self.config.timeout_s)
         started = time.perf_counter()
         future = self.scheduler.submit(tenant, item)
         try:
-            response: ServingResponse = await future
+            if timeout_s is not None:
+                response: ServingResponse = await asyncio.wait_for(
+                    future, timeout=timeout_s)
+            else:
+                response = await future
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future; if the request is still
+            # queued the scheduler drops it at the next batch cut
+            self.telemetry.record_deadline_timeout()
+            self.telemetry.record_completion(0.0, ok=False)
+            raise DeadlineExceededError(
+                f"request for tenant {tenant!r} missed its "
+                f"{timeout_s * 1e3:g}ms deadline") from None
         except Exception:
             self.telemetry.record_completion(0.0, ok=False)
             raise
@@ -248,6 +326,27 @@ class Gateway:
         return version
 
     # ------------------------------------------------------------------
+    # degradation controls (driven by the DegradationController, but
+    # equally usable by an operator for manual load management)
+    # ------------------------------------------------------------------
+    def shed_tenant(self, tenant: str) -> None:
+        """Reject this tenant's submissions with :class:`TenantShedError`."""
+        self._shed_tenants = self._shed_tenants | {tenant}
+
+    def unshed_tenant(self, tenant: str) -> None:
+        """Resume accepting this tenant's submissions."""
+        self._shed_tenants = self._shed_tenants - {tenant}
+
+    def set_scheme_override(self, tenant: str, scheme: str) -> None:
+        """Route the tenant's default traffic to ``scheme`` (e.g. a
+        reduced-``k`` cell); requests naming an explicit scheme are
+        unaffected."""
+        self._scheme_overrides[tenant] = scheme
+
+    def clear_scheme_override(self, tenant: str) -> None:
+        self._scheme_overrides.pop(tenant, None)
+
+    # ------------------------------------------------------------------
     # batch execution (worker thread)
     # ------------------------------------------------------------------
     def _process_batch(
@@ -278,6 +377,13 @@ class Gateway:
         responses: list[ServingResponse | Exception | None] = [None] * len(batch)
         for (tenant, scheme, model, quant), positions in groups.items():
             try:
+                if self._faults is not None:
+                    action = self._faults.decide("gateway.group")
+                    if action is not None:
+                        self.telemetry.record_fault("gateway.group")
+                        raise InjectedFaultError(
+                            f"injected executor fault for group "
+                            f"({tenant}, {scheme}, {model}, {quant})")
                 # agent and catalog version are leased together so a
                 # concurrent hot-swap cannot pair an old agent's plans
                 # with the new catalog's cache key (or vice versa)
@@ -289,7 +395,8 @@ class Gateway:
                 stage = self._process_stage
                 if stage is not None and stage.covers(tenant):
                     episodes = stage.execute(tenant, scheme, model, quant,
-                                             queries, plans)
+                                             queries, plans,
+                                             inline=agent.run_planned_many)
                 else:
                     episodes = agent.run_planned_many(queries, plans)
                 for position, episode in zip(positions, episodes):

@@ -41,10 +41,19 @@ class LoadReport:
     #: qid -> episode, for equivalence checks against the offline runner
     episodes: dict[str, EpisodeResult] = field(repr=False, default_factory=dict)
     gateway_metrics: dict = field(default_factory=dict)
+    #: requests that failed (only populated under ``tolerate_errors``)
+    n_errors: int = 0
 
     @property
     def throughput_rps(self) -> float:
         return self.n_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests that produced an episode."""
+        if self.n_requests == 0:
+            return 0.0
+        return (self.n_requests - self.n_errors) / self.n_requests
 
     @property
     def latency_p50_ms(self) -> float:
@@ -60,17 +69,31 @@ class LoadReport:
 
 
 async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
-                          concurrency: int) -> LoadReport:
-    """Drive ``workload`` through a *running* gateway at ``concurrency``."""
+                          concurrency: int,
+                          tolerate_errors: bool = False) -> LoadReport:
+    """Drive ``workload`` through a *running* gateway at ``concurrency``.
+
+    With ``tolerate_errors`` a failed request (injected fault, deadline,
+    shed tenant, ...) is counted in ``LoadReport.n_errors`` and the
+    client moves on — the mode chaos runs use, where failures are the
+    point and must not abort the surviving traffic.
+    """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     pending = iter(workload)
     latencies: list[float] = []
     episodes: dict[str, EpisodeResult] = {}
+    errors = [0]
 
     async def client() -> None:
         for spec in pending:
-            response = await gateway.submit(spec.tenant, spec.query)
+            try:
+                response = await gateway.submit(spec.tenant, spec.query)
+            except Exception:
+                if not tolerate_errors:
+                    raise
+                errors[0] += 1
+                continue
             latencies.append(response.latency_s)
             episodes[response.episode.qid] = response.episode
 
@@ -84,6 +107,7 @@ async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
         latencies_s=latencies,
         episodes=episodes,
         gateway_metrics=gateway.metrics(),
+        n_errors=errors[0],
     )
 
 
@@ -109,15 +133,23 @@ def run_load(
     n_requests: int,
     concurrency: int,
     embedder=None,
+    faults=None,
+    tolerate_errors: bool = False,
 ) -> LoadReport:
-    """Boot a gateway over ``suites``, drive it closed-loop, shut it down."""
+    """Boot a gateway over ``suites``, drive it closed-loop, shut it down.
+
+    ``faults`` (a :class:`~repro.serving.faults.FaultPlan` or injector)
+    arms the gateway's chaos hooks for the run; pair it with
+    ``tolerate_errors`` so injected failures are counted, not raised.
+    """
     sessions = SessionManager(embedder=embedder)
     for tenant, suite in suites.items():
         sessions.register(tenant, suite)
     workload = make_workload(suites, n_requests)
 
     async def session() -> LoadReport:
-        async with Gateway(sessions, config=config) as gateway:
-            return await run_closed_loop(gateway, workload, concurrency)
+        async with Gateway(sessions, config=config, faults=faults) as gateway:
+            return await run_closed_loop(gateway, workload, concurrency,
+                                         tolerate_errors=tolerate_errors)
 
     return asyncio.run(session())

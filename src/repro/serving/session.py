@@ -165,3 +165,13 @@ class SessionManager:
         """Warm every registered tenant's default grid cell."""
         for name in self.tenant_names:
             self.get(name).warm(scheme, model, quant)
+
+    def runners(self) -> dict[str, "ExperimentRunner"]:
+        """Snapshot of each tenant's *current* runner, for pool priming.
+
+        Taken at pool start and again at every supervised respawn — so a
+        pool rebuilt after a worker crash is primed with post-hot-swap
+        runners, healing tenants that had been demoted to inline
+        execution by :meth:`~repro.serving.gateway.Gateway.update_catalog`.
+        """
+        return {name: self.get(name).runner for name in self.tenant_names}

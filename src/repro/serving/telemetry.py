@@ -79,6 +79,14 @@ class Telemetry:
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
         self._catalog_swaps: Counter[str] = Counter()
+        self._worker_restarts = 0
+        self._slice_retries = 0
+        self._inline_fallbacks = 0
+        self._batch_quarantines = 0
+        self._deadline_timeouts = 0
+        self._shed_requests: Counter[str] = Counter()
+        self._faults_injected: Counter[str] = Counter()
+        self._degrade_transitions: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # recording
@@ -112,6 +120,46 @@ class Telemetry:
         with self._lock:
             self._catalog_swaps[tenant] += 1
 
+    def record_worker_restart(self) -> None:
+        """One worker-pool crash detected; an async respawn was kicked off."""
+        with self._lock:
+            self._worker_restarts += 1
+
+    def record_slice_retry(self) -> None:
+        """One failed worker slice resubmitted to the (possibly new) pool."""
+        with self._lock:
+            self._slice_retries += 1
+
+    def record_inline_fallback(self) -> None:
+        """One failed worker slice executed inline after retries ran out."""
+        with self._lock:
+            self._inline_fallbacks += 1
+
+    def record_batch_quarantine(self, batch_size: int) -> None:
+        """One failed micro-batch re-processed request-by-request."""
+        with self._lock:
+            self._batch_quarantines += 1
+
+    def record_deadline_timeout(self) -> None:
+        """One request abandoned because its end-to-end deadline expired."""
+        with self._lock:
+            self._deadline_timeouts += 1
+
+    def record_shed_request(self, tenant: str) -> None:
+        """One request rejected because its tenant is shed (degradation)."""
+        with self._lock:
+            self._shed_requests[tenant] += 1
+
+    def record_fault(self, hook: str) -> None:
+        """One injected fault fired at ``hook`` (chaos harness only)."""
+        with self._lock:
+            self._faults_injected[hook] += 1
+
+    def record_degradation(self, tenant: str, rung: str, direction: str) -> None:
+        """One degradation-ladder transition (``direction`` is down|up)."""
+        with self._lock:
+            self._degrade_transitions[f"{tenant}:{direction}:{rung}"] += 1
+
     def record_completion(self, latency_s: float, ok: bool = True) -> None:
         """One request finished (``latency_s`` is submit-to-response)."""
         with self._lock:
@@ -134,6 +182,14 @@ class Telemetry:
             completed, failed = self._completed, self._failed
             plan_hits, plan_misses = self._plan_cache_hits, self._plan_cache_misses
             catalog_swaps = dict(self._catalog_swaps)
+            worker_restarts = self._worker_restarts
+            slice_retries = self._slice_retries
+            inline_fallbacks = self._inline_fallbacks
+            batch_quarantines = self._batch_quarantines
+            deadline_timeouts = self._deadline_timeouts
+            shed_requests = dict(self._shed_requests)
+            faults_injected = dict(self._faults_injected)
+            degrade_transitions = dict(self._degrade_transitions)
         n_batches = sum(sizes.values())
         plan_lookups = plan_hits + plan_misses
         n_batched = sum(size * count for size, count in sizes.items())
@@ -159,4 +215,15 @@ class Telemetry:
                                     if plan_lookups else 0.0),
             "catalog_swaps": sum(catalog_swaps.values()),
             "catalog_swaps_by_tenant": catalog_swaps,
+            "worker_restarts": worker_restarts,
+            "slice_retries": slice_retries,
+            "inline_fallbacks": inline_fallbacks,
+            "batch_quarantines": batch_quarantines,
+            "deadline_timeouts": deadline_timeouts,
+            "shed_requests": sum(shed_requests.values()),
+            "shed_requests_by_tenant": shed_requests,
+            "faults_injected": sum(faults_injected.values()),
+            "faults_injected_by_hook": faults_injected,
+            "degrade_transitions": sum(degrade_transitions.values()),
+            "degrade_transitions_detail": degrade_transitions,
         }

@@ -289,6 +289,11 @@ class ServingSpec(_SpecBase):
     execution_backend: str = "thread"
     execution_workers: int | None = None
     plan_cache_size: int = 0
+    timeout_ms: float | None = None
+    worker_init_timeout_s: float = 60.0
+    execution_retries: int = 2
+    retry_backoff_ms: float = 50.0
+    slice_timeout_s: float | None = 30.0
 
     def __post_init__(self):
         tenants = tuple(
@@ -327,6 +332,18 @@ class ServingSpec(_SpecBase):
                  f"execution_workers must be >= 1, got {self.execution_workers}")
         _require(self.plan_cache_size >= 0,
                  f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
+        _require(self.timeout_ms is None or self.timeout_ms > 0.0,
+                 f"timeout_ms must be > 0 (or None), got {self.timeout_ms}")
+        _require(self.worker_init_timeout_s > 0.0,
+                 f"worker_init_timeout_s must be > 0, "
+                 f"got {self.worker_init_timeout_s}")
+        _require(self.execution_retries >= 0,
+                 f"execution_retries must be >= 0, got {self.execution_retries}")
+        _require(self.retry_backoff_ms >= 0.0,
+                 f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}")
+        _require(self.slice_timeout_s is None or self.slice_timeout_s > 0.0,
+                 f"slice_timeout_s must be > 0 (or None), "
+                 f"got {self.slice_timeout_s}")
 
     def to_config(self):
         """The runtime :class:`ServingConfig` equivalent of this spec."""
@@ -342,6 +359,11 @@ class ServingSpec(_SpecBase):
             execution_backend=self.execution_backend,
             execution_workers=self.execution_workers,
             plan_cache_size=self.plan_cache_size,
+            timeout_ms=self.timeout_ms,
+            worker_init_timeout_s=self.worker_init_timeout_s,
+            execution_retries=self.execution_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            slice_timeout_s=self.slice_timeout_s,
         )
 
     @classmethod

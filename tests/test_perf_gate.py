@@ -35,11 +35,15 @@ def _report(**overrides) -> dict:
                     "minimal_token_ratio": 0.87},
         "grid": {"sequential_s": 0.2, "parallel_s": 0.18, "process_s": 0.5},
         "serving": {"batched_req_per_s": 2_000.0,
-                    "speedup_vs_sequential": 2.2},
+                    "speedup_vs_sequential": 2.2,
+                    "chaos": {"success_rate": 1.0}},
     }
     for dotted, value in overrides.items():
-        section, metric = dotted.split(".")
-        report[section][metric] = value
+        *path, metric = dotted.split(".")
+        node = report
+        for part in path:
+            node = node[part]
+        node[metric] = value
     return report
 
 
@@ -101,8 +105,23 @@ def test_tracked_metrics_all_present_in_committed_baseline():
     """The committed baseline must actually carry every guarded metric."""
     baseline = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
     for section, metric, _ in check.TRACKED_METRICS:
-        assert baseline.get(section, {}).get(metric) is not None, \
+        assert check.lookup(baseline, section, metric) is not None, \
             f"{section}.{metric} missing from BENCH_perf.json"
+
+
+def test_lookup_traverses_dotted_sections():
+    report = _report()
+    assert check.lookup(report, "serving.chaos", "success_rate") == 1.0
+    assert check.lookup(report, "serving", "batched_req_per_s") == 2_000.0
+    assert check.lookup(report, "serving.nope", "x") is None
+    # a scalar in the middle of the path is not a section
+    assert check.lookup(report, "serving.batched_req_per_s", "x") is None
+
+
+def test_chaos_success_rate_drop_fails():
+    fresh = _report(**{"serving.chaos.success_rate": 0.6})
+    rows = check.compare(_report(), fresh, tolerance=0.25)
+    assert [row[0] for row in rows] == ["serving.chaos.success_rate"]
 
 
 # ----------------------------------------------------------------------
@@ -160,7 +179,14 @@ def test_bench_main_writes_guarded_shape(tmp_path, monkeypatch, capsys):
         "process_workers": 2, "process_speedup": 0.4,
     })
     monkeypatch.setattr(bench, "bench_serving", lambda: {
-        **stub["serving"], "batched_p95_ms": 20.0,
+        **{key: value for key, value in stub["serving"].items()
+           if key != "chaos"},
+        "batched_p95_ms": 20.0,
+    })
+    monkeypatch.setattr(bench, "bench_serving_chaos", lambda: {
+        **stub["serving"]["chaos"],
+        "faults_injected": 3, "worker_restarts": 3, "slice_retries": 4,
+        "inline_fallbacks": 0, "req_per_s": 150.0,
     })
 
     output = tmp_path / "report.json"
@@ -170,7 +196,7 @@ def test_bench_main_writes_guarded_shape(tmp_path, monkeypatch, capsys):
     assert report["schema_version"] == 2
     assert report["machine"]["cpu_count"] is not None
     for section, metric, _ in check.TRACKED_METRICS:
-        assert report.get(section, {}).get(metric) is not None, \
+        assert check.lookup(report, section, metric) is not None, \
             f"bench_perf.main() dropped guarded metric {section}.{metric}"
     # a fresh self-comparison through the real gate must pass
     assert check.compare(report, report, tolerance=0.25) == []

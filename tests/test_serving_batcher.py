@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
@@ -186,3 +187,137 @@ def test_config_validation():
         ServingConfig(max_wait_ms=-1.0)
     with pytest.raises(ValueError):
         ServingConfig(queue_capacity=0)
+
+
+def test_abort_stop_fails_inflight_requests_fast():
+    """stop(drain=False) with queued traffic: every pending future fails
+    promptly with SchedulerStoppedError — none is processed, none hangs."""
+    async def scenario():
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=64, max_wait_ms=10_000.0))
+        futures = [scheduler.submit("t", i) for i in range(5)]
+        await asyncio.wait_for(scheduler.stop(drain=False), timeout=2.0)
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*futures, return_exceptions=True), timeout=2.0)
+        # post-stop submissions are rejected too
+        with pytest.raises(SchedulerStoppedError):
+            scheduler.submit("t", 99)
+        return outcomes
+
+    outcomes = run(scenario())
+    assert len(outcomes) == 5
+    assert all(isinstance(outcome, SchedulerStoppedError)
+               for outcome in outcomes)
+
+
+def test_abort_stop_with_batch_midflight_fails_queued_requests():
+    """An abort while a batch is executing: the in-flight batch finishes,
+    everything still queued behind it fails fast — nothing hangs."""
+    async def scenario():
+        release = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def slow(batch):
+            asyncio.run_coroutine_threadsafe(release.wait(), loop).result()
+            return [(request.payload, request.batch_size) for request in batch]
+
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=1, max_wait_ms=0.0),
+            process=slow)
+        inflight = scheduler.submit("t", 0)
+        await asyncio.sleep(0.05)  # first batch is now inside the worker
+        queued = [scheduler.submit("t", i) for i in range(1, 4)]
+        stop_task = loop.create_task(scheduler.stop(drain=False))
+        release.set()
+        await asyncio.wait_for(stop_task, timeout=5.0)
+        first = await asyncio.wait_for(inflight, timeout=2.0)
+        rest = await asyncio.wait_for(
+            asyncio.gather(*queued, return_exceptions=True), timeout=2.0)
+        return first, rest
+
+    first, rest = run(scenario())
+    assert first == (0, 1)
+    assert all(isinstance(outcome, SchedulerStoppedError) for outcome in rest)
+
+
+def test_queue_full_error_reports_occupancy():
+    async def scenario():
+        release = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def slow(batch):
+            asyncio.run_coroutine_threadsafe(release.wait(), loop).result()
+            return [None] * len(batch)
+
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=1, max_wait_ms=0.0, queue_capacity=3),
+            process=slow)
+        inflight = [scheduler.submit("a", 0)]
+        await asyncio.sleep(0.05)
+        inflight += [scheduler.submit("a", 1), scheduler.submit("a", 2),
+                     scheduler.submit("b", 3)]
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit("b", 4)
+        release.set()
+        await asyncio.gather(*inflight)
+        await scheduler.stop()
+        return excinfo.value
+
+    error = run(scenario())
+    assert error.depth == 3
+    assert error.capacity == 3
+    # busiest tenant first
+    assert error.per_tenant == {"a": 2, "b": 1}
+    assert list(error.per_tenant) == ["a", "b"]
+    assert "a=2" in str(error) and "b=1" in str(error)
+
+
+def test_quarantine_isolates_poisoned_request():
+    """One poisoned request in a batch fails alone; its co-batched
+    neighbors are re-run solo and still succeed."""
+    def poisonable(batch):
+        if any(request.payload == "bad" for request in batch):
+            raise RuntimeError("poisoned batch")
+        return [(request.payload, request.batch_size) for request in batch]
+
+    async def scenario():
+        telemetry = Telemetry()
+        scheduler = await start_scheduler(
+            ServingConfig(max_batch_size=4, max_wait_ms=10_000.0),
+            process=poisonable, telemetry=telemetry)
+        futures = [scheduler.submit("t", payload)
+                   for payload in ["ok0", "ok1", "bad", "ok2"]]
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*futures, return_exceptions=True), timeout=5.0)
+        await scheduler.stop()
+        return outcomes, telemetry.snapshot()
+
+    outcomes, metrics = run(scenario())
+    assert [payload for payload, _ in (outcomes[0], outcomes[1], outcomes[3])] \
+        == ["ok0", "ok1", "ok2"]
+    assert isinstance(outcomes[2], RuntimeError)
+    assert metrics["batch_quarantines"] == 1
+
+
+def test_worker_shutdown_raises_with_stack_when_stuck():
+    """A batch worker that cannot join is a hang, not a detail to swallow:
+    shutdown must raise and point at the stuck frame."""
+    from repro.serving.batcher import _SingleWorker
+
+    worker = _SingleWorker()
+    release = threading.Event()
+    started = threading.Event()
+
+    def wedge():
+        started.set()
+        release.wait()
+
+    future = worker.submit(wedge)
+    assert started.wait(timeout=5.0)
+    with pytest.raises(RuntimeError, match="failed to join") as excinfo:
+        worker.shutdown(join_timeout_s=0.1)
+    # the error carries the worker's stack, naming the stuck function
+    assert "wedge" in str(excinfo.value)
+    release.set()
+    future.result(timeout=5.0)
+    worker.shutdown(join_timeout_s=5.0)
