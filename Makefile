@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process test-chaos examples-smoke bench bench-check bench-serving bench-paper
+.PHONY: test test-process test-chaos examples-smoke bench bench-check bench-serving bench-obs bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -25,6 +25,8 @@ examples-smoke:
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/quickstart.py
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/serving_demo.py
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/catalog_hotswap.py
+	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/tracing_demo.py
+	$(PYTHON) -m repro metrics --requests 8 > /dev/null
 	$(PYTHON) -m repro catalog list
 	$(PYTHON) -m repro catalog show edgehome --variant compressed > /dev/null
 	$(PYTHON) -m repro catalog diff edgehome edgehome
@@ -44,6 +46,11 @@ bench-check:
 ## serving-gateway load bench: asserts micro-batched >= 2x sequential
 bench-serving:
 	$(PYTHON) scripts/bench_serving.py
+
+## tracing-overhead bench: asserts full tracing costs < 10% throughput
+## (--update-baseline refreshes BENCH_perf.json's serving.obs section)
+bench-obs:
+	$(PYTHON) scripts/bench_obs.py
 
 ## the paper-reproduction benchmark tables/figures (slow)
 bench-paper:

@@ -27,6 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
+from bench_obs import bench_obs  # noqa: E402
 from bench_serving import bench_serving, bench_serving_chaos  # noqa: E402
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
@@ -204,10 +205,13 @@ def bench_grid(n_queries: int) -> dict:
 
 def collect(repeats: int, grid_queries: int) -> dict:
     serving = bench_serving()
-    # nested section: chaos numbers live under serving.chaos so the
+    # nested sections: chaos numbers live under serving.chaos so the
     # regression gate can guard the recoverability invariant
-    # (serving.chaos success_rate) next to the throughput metrics
+    # (serving.chaos success_rate) next to the throughput metrics, and
+    # tracing-overhead numbers under serving.obs (guarding the traced
+    # throughput keeps observability honest about its hot-path cost)
     serving["chaos"] = bench_serving_chaos()
+    serving["obs"] = bench_obs()
     return {
         "schema_version": 2,
         "machine": {
@@ -269,6 +273,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{chaos['slice_retries']} retries, "
               f"{chaos['inline_fallbacks']} inline) at "
               f"{chaos['req_per_s']:.0f} req/s")
+    obs = serving.get("obs")
+    if obs:
+        print(f"obs    : {obs['req_per_s_sample_1']:.0f} req/s fully traced "
+              f"vs {obs['req_per_s_untraced']:.0f} untraced "
+              f"({obs['overhead_frac_sample_1']:+.1%} overhead)")
     print(f"wrote {args.output}")
     return 0
 

@@ -32,8 +32,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
+from repro.obs.sinks import read_jsonl_spans  # noqa: E402
 from repro.serving import FaultPlan, LoadReport, run_load  # noqa: E402
-from repro.specs import ServingSpec  # noqa: E402
+from repro.specs import ObsSpec, ServingSpec  # noqa: E402
 from repro.suites import load_suite  # noqa: E402
 
 #: Required batched/sequential throughput ratio (the PR's acceptance bar).
@@ -121,7 +122,8 @@ def bench_serving(n_requests: int = 512, concurrency: int = 32,
 def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
                         workers: int = 2, seed: int = 0,
                         crash_rate: float = 0.25,
-                        suite_name: str = "edgehome") -> dict:
+                        suite_name: str = "edgehome",
+                        trace_out: str | None = None) -> dict:
     """Serve a workload on the process backend while SIGKILLing workers.
 
     The seeded :class:`FaultPlan` kills pool workers at a fixed fraction
@@ -132,18 +134,37 @@ def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
     the restart/retry counters are reported for trend-watching but not
     guarded: how much latency a crash costs depends on respawn time,
     which jitters with machine load.
+
+    ``trace_out`` additionally records the run's spans to a JSONL
+    artifact and **asserts** the injected faults surfaced as ``fault``
+    span events at the very hook names telemetry counted — the tracing
+    side of the chaos contract.
     """
     suites = {suite_name: load_suite(suite_name)}
+    obs = (ObsSpec(sink="jsonl", sink_path=trace_out)
+           if trace_out else None)
     spec = ServingSpec(max_batch_size=8, max_wait_ms=2.0,
                        execution_backend="process",
                        execution_workers=workers,
                        execution_retries=2, retry_backoff_ms=20.0,
-                       slice_timeout_s=30.0)
+                       slice_timeout_s=30.0, obs=obs)
     plan = FaultPlan(seed=seed, worker_crash_rate=crash_rate)
     report = run_load(suites, spec.to_config(), n_requests=n_requests,
                       concurrency=concurrency, faults=plan,
                       tolerate_errors=True)
     metrics = report.gateway_metrics
+    if trace_out:
+        spans = read_jsonl_spans(trace_out)
+        event_hooks = sorted({
+            event["attributes"]["hook"]
+            for span in spans for event in span["events"]
+            if event["name"] == "fault"})
+        injected_hooks = sorted(metrics["faults_injected_by_hook"])
+        assert event_hooks == injected_hooks, (
+            f"trace artifact fault events cover hooks {event_hooks}, but "
+            f"telemetry injected at {injected_hooks}")
+        assert len({span["trace_id"] for span in spans
+                    if span["name"] == "request"}) == n_requests
     return {
         "suite": suite_name,
         "n_requests": n_requests,
@@ -159,6 +180,7 @@ def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
         "success_rate": report.success_rate,
         "req_per_s": report.throughput_rps,
         "p95_ms": report.latency_p95_ms,
+        "trace_out": trace_out,
     }
 
 
@@ -180,11 +202,17 @@ def main(argv: list[str] | None = None) -> int:
                              "the throughput comparison")
     parser.add_argument("--seed", type=int, default=0,
                         help="FaultPlan seed for --chaos")
+    parser.add_argument("--trace-out", default="/tmp/serving_chaos_trace.jsonl",
+                        metavar="PATH",
+                        help="JSONL trace artifact for --chaos (the run "
+                             "asserts injected faults appear as span "
+                             "events); pass an empty string to disable")
     args = parser.parse_args(argv)
 
     if args.chaos:
         row = bench_serving_chaos(concurrency=min(args.concurrency, 8),
-                                  seed=args.seed, suite_name=args.suite)
+                                  seed=args.seed, suite_name=args.suite,
+                                  trace_out=args.trace_out or None)
         print(f"serving chaos ({row['suite']}, {row['n_requests']} requests, "
               f"seed {row['seed']}, crash rate {row['worker_crash_rate']:.0%}):")
         print(f"  faults {row['faults_injected']} | restarts "
@@ -192,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
               f"| inline fallbacks {row['inline_fallbacks']}")
         print(f"  served {row['success_rate']:.0%} at {row['req_per_s']:.0f} "
               f"req/s (p95 {row['p95_ms']:.1f} ms)")
+        if row["trace_out"]:
+            print(f"  trace artifact verified: fault span events match "
+                  f"injected hooks -> {row['trace_out']}")
         if args.output:
             Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
             print(f"wrote {args.output}")

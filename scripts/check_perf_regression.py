@@ -45,6 +45,10 @@ TRACKED_METRICS = [
     # recoverability invariant: the chaos scenario's faults are all
     # recoverable, so the served fraction must not drop
     ("serving.chaos", "success_rate", True),
+    # observability invariant: serving with every request traced must
+    # stay within tolerance of the committed traced throughput — a
+    # change that fattens the tracing hot path fails here
+    ("serving.obs", "req_per_s_sample_1", True),
 ]
 
 

@@ -32,6 +32,7 @@ _LAZY_EXPORTS = {
     "CatalogSpec": ("repro.specs", "CatalogSpec"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
     "GridSpec": ("repro.specs", "GridSpec"),
+    "ObsSpec": ("repro.specs", "ObsSpec"),
     "ServingSpec": ("repro.specs", "ServingSpec"),
     "SuiteSpec": ("repro.specs", "SuiteSpec"),
     "TenantSpec": ("repro.specs", "TenantSpec"),

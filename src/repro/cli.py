@@ -8,6 +8,8 @@ Commands
 ``levels``     inspect the offline Search Levels built for a suite
 ``catalog``    list / show / diff registered tool catalogs and variants
 ``profile``    cost one hypothetical function-calling turn on the Orin
+``metrics``    serve a short load, print Prometheus text exposition
+``chaos``      serve a workload under seeded fault injection
 
 Every evaluation command builds a typed spec (:mod:`repro.specs`) and
 drives it through one :func:`repro.open_session` session, so the CLI,
@@ -27,6 +29,8 @@ Examples::
     python -m repro catalog show edgehome --variant compressed
     python -m repro catalog diff edgehome edgehome --against-variant minimal
     python -m repro profile --tools 46 --window 16384 --quant q4_K_M
+    python -m repro metrics --suite edgehome --requests 16
+    python -m repro chaos --process --trace-out /tmp/chaos_trace.jsonl
 """
 
 from __future__ import annotations
@@ -214,9 +218,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Serve a short load and print the Prometheus text exposition.
+
+    What a scrape of the future ``/metrics`` endpoint would return:
+    ``Gateway.metrics_text()`` — telemetry snapshot plus the per-tenant
+    cost ledger — after ``--requests`` closed-loop requests.
+    """
+    from repro.obs.prometheus import render_prometheus
+    from repro.serving import ServingConfig, run_load
+    from repro.specs import ObsSpec
+    from repro.suites import load_suite
+
+    config = ServingConfig(
+        max_batch_size=args.batch_size, max_wait_ms=2.0,
+        obs=ObsSpec(sink="memory", sample_rate=args.sample_rate))
+    report = run_load({args.suite: load_suite(args.suite)}, config,
+                      n_requests=args.requests, concurrency=args.concurrency)
+    print(render_prometheus(report.gateway_metrics, cost=report.cost),
+          end="")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replayable chaos run: serve a workload while injecting faults."""
+    from repro.obs.sinks import read_jsonl_spans
     from repro.serving import FaultPlan, ServingConfig, run_load
+    from repro.specs import ObsSpec
     from repro.suites import load_suite
 
     config = ServingConfig(
@@ -226,6 +254,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         execution_workers=args.workers,
         timeout_ms=args.timeout_ms,
         retry_backoff_ms=20.0,
+        obs=(ObsSpec(sink="jsonl", sink_path=args.trace_out)
+             if args.trace_out else None),
     )
     plan = FaultPlan(seed=args.seed,
                      worker_crash_rate=args.crash_rate if args.process else 0.0,
@@ -245,6 +275,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{metrics['deadline_timeouts']}")
     print(f"  p95 latency {report.latency_p95_ms:.1f} ms at "
           f"{report.throughput_rps:.1f} req/s")
+    if args.trace_out:
+        spans = read_jsonl_spans(args.trace_out)
+        traces = {span["trace_id"] for span in spans}
+        event_hooks = sorted({
+            event["attributes"]["hook"]
+            for span in spans for event in span["events"]
+            if event["name"] == "fault"})
+        injected_hooks = sorted(metrics["faults_injected_by_hook"])
+        print(f"  trace artifact: {len(spans)} spans / {len(traces)} traces "
+              f"-> {args.trace_out}")
+        print(f"  fault span events at hooks: {event_hooks or 'none'}")
+        # deadline-abandoned requests may orphan their buffered events,
+        # but with no deadline armed every injected fault must surface
+        # as a span event at the same hook name
+        if args.timeout_ms is None and injected_hooks != event_hooks:
+            print(f"  MISMATCH: telemetry recorded faults at "
+                  f"{injected_hooks}, trace events cover {event_hooks}")
+            return 1
     return 0
 
 
@@ -327,6 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=["MAXN", "30W", "15W"])
     profile_parser.set_defaults(func=cmd_profile)
 
+    metrics_parser = sub.add_parser(
+        "metrics", help="serve a short load, print Prometheus exposition")
+    metrics_parser.add_argument("--suite", default="edgehome")
+    metrics_parser.add_argument("--requests", type=int, default=16)
+    metrics_parser.add_argument("--concurrency", type=int, default=8)
+    metrics_parser.add_argument("--batch-size", type=int, default=8)
+    metrics_parser.add_argument("--sample-rate", type=float, default=1.0,
+                                help="trace sample rate for the run")
+    metrics_parser.set_defaults(func=cmd_metrics)
+
     chaos_parser = sub.add_parser(
         "chaos", help="serve a workload under seeded fault injection")
     chaos_parser.add_argument("--suite", default="edgehome")
@@ -345,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(process backend only)")
     chaos_parser.add_argument("--slow-rate", type=float, default=0.0)
     chaos_parser.add_argument("--exception-rate", type=float, default=0.1)
+    chaos_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                              help="write a JSONL trace artifact and verify "
+                                   "injected faults appear as span events")
     chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 

@@ -1,9 +1,9 @@
 """Plugin registries: string-keyed dispatch for schemes, suites, backends.
 
 Every name→implementation decision in the public surface goes through
-one of the five registries below, so a third-party scheme, benchmark
-suite or execution backend plugs in with a one-line decorator instead of
-editing core files::
+one of the registries below, so a third-party scheme, benchmark suite,
+execution backend or trace sink plugs in with a one-line decorator
+instead of editing core files::
 
     from repro.registry import register_scheme
 
@@ -154,7 +154,7 @@ class Registry:
 
 
 # ----------------------------------------------------------------------
-# the five public registries
+# the public registries
 # ----------------------------------------------------------------------
 #: scheme name -> agent factory ``f(model, quant, context, **kwargs)``
 SCHEMES = Registry("scheme", builtin_modules=(
@@ -181,6 +181,14 @@ CATALOGS = Registry("catalog", builtin_modules=(
     "repro.suites.bfcl_catalog", "repro.suites.geoengine_catalog",
     "repro.suites.edgehome"),
     builtin_names=("bfcl", "geoengine", "edgehome"))
+
+#: trace sink name -> factory ``f(obs_spec) -> sink`` where the sink
+#: satisfies the :class:`~repro.obs.sinks.TraceSink` protocol
+#: (``emit(span)``).  Resolved by :func:`repro.obs.trace.build_tracer`
+#: when a gateway is configured with an :class:`~repro.specs.ObsSpec`.
+TRACE_SINKS = Registry("trace sink", builtin_modules=(
+    "repro.obs.sinks",),
+    builtin_names=("memory", "jsonl", "null"))
 
 #: fault hook name -> one-line description of what an injected fault
 #: does there.  The chaos harness (:mod:`repro.serving.faults`) fires
@@ -219,6 +227,18 @@ def register_serving_backend(name: str, factory: Callable | None = None, *,
                              replace: bool = False):
     """Register a serving execution-stage factory ``f(config)``."""
     return SERVING_BACKENDS.register(name, factory, replace=replace)
+
+
+def register_trace_sink(name: str, factory: Callable | None = None, *,
+                        replace: bool = False):
+    """Register a trace-sink factory ``f(obs_spec) -> sink``.
+
+    The factory receives the full :class:`~repro.specs.ObsSpec` (ring
+    capacity, output path, ...) and returns an object with
+    ``emit(span)``; a third-party exporter plugs in here and becomes
+    addressable as ``ObsSpec(sink="<name>")``.
+    """
+    return TRACE_SINKS.register(name, factory, replace=replace)
 
 
 def register_fault_hook(name: str, description: str | None = None, *,

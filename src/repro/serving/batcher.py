@@ -73,6 +73,12 @@ class BatchScheduler:
         Optional :class:`~repro.serving.faults.FaultInjector`; when set,
         the ``batch.process`` hook fires on the worker thread before each
         batch runs (chaos testing only).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; injected faults and
+        quarantine recoveries are recorded as events against each
+        affected request's trace (requests carry their
+        :class:`~repro.obs.trace.TraceContext` on the payload's
+        ``trace`` attribute).
     """
 
     def __init__(
@@ -81,11 +87,13 @@ class BatchScheduler:
         config: ServingConfig,
         telemetry: Telemetry | None = None,
         faults=None,
+        tracer=None,
     ):
         self._process = process
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._faults = faults
+        self._tracer = tracer
         self._queues: dict[str, deque[PendingRequest]] = {}
         self._rr_offset = 0
         self._total_pending = 0
@@ -253,6 +261,12 @@ class BatchScheduler:
                 batch[0].future.set_exception(exc)
             return
         self.telemetry.record_batch_quarantine(len(batch))
+        if self._tracer is not None:
+            for request in batch:
+                self._tracer.event(
+                    getattr(request.payload, "trace", None), "quarantine",
+                    {"batch_size": len(batch),
+                     "error": type(exc).__name__})
         for request in batch:
             if request.future.done():
                 continue
@@ -270,6 +284,12 @@ class BatchScheduler:
             action = self._faults.decide("batch.process")
             if action is not None and action.kind == "slow":
                 self.telemetry.record_fault("batch.process")
+                if self._tracer is not None:
+                    for request in batch:
+                        self._tracer.event(
+                            getattr(request.payload, "trace", None), "fault",
+                            {"hook": "batch.process",
+                             "sleep_ms": action.sleep_s * 1e3})
                 time.sleep(action.sleep_s)
         results = self._process(batch)
         if len(results) != len(batch):

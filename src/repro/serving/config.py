@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.registry import SERVING_BACKENDS, register_serving_backend
+from repro.specs import ObsSpec
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,12 @@ class ServingConfig:
         are bitwise identical to freshly planned ones.  0 (the default)
         disables memoization; hit/miss counts surface in
         :meth:`~repro.serving.telemetry.Telemetry.snapshot`.
+    obs:
+        Observability configuration (:class:`~repro.specs.ObsSpec`):
+        which trace sink to build, the sampling rate and the slow-span
+        threshold.  ``None`` (the default) disables tracing entirely —
+        the serving hot path then carries a single ``is None`` check.
+        Tracing never changes served results; spans only observe.
     """
 
     max_batch_size: int = 32
@@ -95,6 +102,7 @@ class ServingConfig:
     execution_retries: int = 2
     retry_backoff_ms: float = 50.0
     slice_timeout_s: float | None = 30.0
+    obs: ObsSpec | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -131,6 +139,12 @@ class ServingConfig:
             raise ValueError(
                 f"slice_timeout_s must be > 0 (or None), "
                 f"got {self.slice_timeout_s}")
+        if isinstance(self.obs, dict):
+            object.__setattr__(self, "obs", ObsSpec.from_dict(self.obs))
+        if self.obs is not None and not isinstance(self.obs, ObsSpec):
+            raise ValueError(
+                f"obs must be an ObsSpec (or None), "
+                f"got {type(self.obs).__name__}")
 
     @property
     def max_wait_s(self) -> float:

@@ -190,8 +190,17 @@ class DegradationController:
             return
         self._enter(tenant, ladder, old, new)
         self._rungs[tenant] = new
+        direction_name = "down" if direction > 0 else "up"
         self.gateway.telemetry.record_degradation(
-            tenant, ladder[new], "down" if direction > 0 else "up")
+            tenant, ladder[new], direction_name)
+        tracer = getattr(self.gateway, "tracer", None)
+        if tracer is not None:
+            # control-plane transition: not owned by any one request, so
+            # it lands as a standalone marker span
+            tracer.marker("degrade", {"tenant": tenant,
+                                      "rung": ladder[new],
+                                      "from_rung": ladder[old],
+                                      "direction": direction_name})
 
     def _enter(self, tenant: str, ladder: tuple[str, ...],
                old: int, new: int) -> None:

@@ -19,6 +19,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.episode import EpisodeResult
+from repro.obs.cost import CostLedger, CostRecord, plan_tool_tokens
+from repro.obs.trace import TraceContext, build_tracer
 from repro.registry import SERVING_BACKENDS
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
@@ -50,12 +52,18 @@ class TenantShedError(RuntimeError):
 
 @dataclass(frozen=True)
 class WorkItem:
-    """Scheduler payload: the resolved query and its agent cell."""
+    """Scheduler payload: the resolved query and its agent cell.
+
+    ``trace`` carries the request's :class:`TraceContext` (parented to
+    the root ``request`` span) across the scheduler's thread boundary;
+    ``None`` for unsampled requests and untraced gateways.
+    """
 
     query: Query
     scheme: str
     model: str
     quant: str
+    trace: TraceContext | None = None
 
 
 class _PlanCache:
@@ -147,14 +155,21 @@ class Gateway:
         telemetry: Telemetry | None = None,
         faults=None,
         degradation=None,
+        tracer=None,
     ):
         self.sessions = sessions
         self.config = config if config is not None else ServingConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._faults = as_injector(faults)
+        # an explicit tracer (tests, embedding hosts) wins over the
+        # config's ObsSpec; both absent means tracing is off entirely
+        self.tracer = tracer if tracer is not None else build_tracer(
+            self.config.obs)
+        self.costs_ledger = CostLedger()
         self.scheduler = BatchScheduler(self._process_batch, self.config,
                                         telemetry=self.telemetry,
-                                        faults=self._faults)
+                                        faults=self._faults,
+                                        tracer=self.tracer)
         self._process_stage = None
         self._plan_cache = (_PlanCache(self.config.plan_cache_size)
                             if self.config.plan_cache_size > 0 else None)
@@ -184,7 +199,8 @@ class Gateway:
                 # re-primes respawned pools from the *current* runners
                 self._process_stage.bind(telemetry=self.telemetry,
                                          faults=self._faults,
-                                         runners_fn=self.sessions.runners)
+                                         runners_fn=self.sessions.runners,
+                                         tracer=self.tracer)
             # prime the worker pool with each tenant's warmed runner
             # (suite + Search Levels + embedder snapshot) *before* the
             # scheduler starts, so all process spawning happens while
@@ -248,14 +264,29 @@ class Gateway:
             raise TenantShedError(
                 f"tenant {tenant!r} is shed under overload; retry later")
         session = self.sessions.get(tenant)
+        resolved = session.resolve_query(query)
+        # the root "request" span: admission to reply.  Downstream spans
+        # (queue/plan/execute, worker slices) parent to it through the
+        # WorkItem's TraceContext; per-sampling ctx may be None, making
+        # every downstream tracing touch a single is-None branch.
+        ctx = root_span = None
+        if self.tracer is not None:
+            ctx = self.tracer.begin(tenant, resolved.qid)
+            if ctx is not None:
+                root_span = self.tracer.start_span(ctx, "request", attributes={
+                    "tenant": tenant, "qid": resolved.qid})
+                root_span.add_event("admit",
+                                    {"queue_depth": self.scheduler.pending})
+                ctx = ctx.child(root_span.span_id)
         item = WorkItem(
-            query=session.resolve_query(query),
+            query=resolved,
             # a degraded tenant's default traffic runs the reduced-k
             # scheme; explicit per-request schemes are honored as-is
             scheme=scheme or self._scheme_overrides.get(tenant)
             or self.config.default_scheme,
             model=model or self.config.default_model,
             quant=quant or self.config.default_quant,
+            trace=ctx,
         )
         timeout_s = (timeout_ms / 1e3 if timeout_ms is not None
                      else self.config.timeout_s)
@@ -272,19 +303,46 @@ class Gateway:
             # queued the scheduler drops it at the next batch cut
             self.telemetry.record_deadline_timeout()
             self.telemetry.record_completion(0.0, ok=False)
+            if root_span is not None:
+                self.tracer.end_span(root_span, status="deadline_exceeded")
             raise DeadlineExceededError(
                 f"request for tenant {tenant!r} missed its "
                 f"{timeout_s * 1e3:g}ms deadline") from None
-        except Exception:
+        except Exception as exc:
             self.telemetry.record_completion(0.0, ok=False)
+            if root_span is not None:
+                root_span.attributes["error"] = type(exc).__name__
+                self.tracer.end_span(root_span, status="error")
             raise
         response.latency_s = time.perf_counter() - started
         self.telemetry.record_completion(response.latency_s, ok=True)
+        if root_span is not None:
+            root_span.add_event("reply", {
+                "batch_size": response.batch_size,
+                "latency_ms": response.latency_s * 1e3})
+            self.tracer.end_span(root_span)
         return response
 
     def metrics(self) -> dict:
         """Current telemetry snapshot (queue, batches, latency percentiles)."""
         return self.telemetry.snapshot()
+
+    def metrics_text(self) -> str:
+        """Telemetry + cost ledger in Prometheus text exposition format.
+
+        The future ASGI ``/metrics`` endpoint is
+        ``PlainTextResponse(gateway.metrics_text())`` — rendering runs
+        off the telemetry *snapshot*, so a scrape never holds the
+        recording locks for longer than one dict copy.
+        """
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.telemetry.snapshot(),
+                                 cost=self.costs_ledger.snapshot())
+
+    def costs(self) -> dict:
+        """Per-tenant token-cost snapshot (see :class:`CostLedger`)."""
+        return self.costs_ledger.snapshot()
 
     def update_catalog(self, tenant: str, catalog) -> str:
         """Hot-swap one tenant's tool catalog; returns the new version.
@@ -375,32 +433,106 @@ class Gateway:
             groups.setdefault(key, []).append(position)
 
         responses: list[ServingResponse | Exception | None] = [None] * len(batch)
+        tracer = self.tracer
         for (tenant, scheme, model, quant), positions in groups.items():
+            group_traces = [batch[position].payload.trace
+                            for position in positions]
+            traced = ([trace for trace in group_traces if trace is not None]
+                      if tracer is not None else [])
             try:
                 if self._faults is not None:
                     action = self._faults.decide("gateway.group")
                     if action is not None:
                         self.telemetry.record_fault("gateway.group")
+                        for trace in traced:
+                            tracer.event(trace, "fault",
+                                         {"hook": "gateway.group"})
                         raise InjectedFaultError(
                             f"injected executor fault for group "
                             f"({tenant}, {scheme}, {model}, {quant})")
                 # agent and catalog version are leased together so a
                 # concurrent hot-swap cannot pair an old agent's plans
                 # with the new catalog's cache key (or vice versa)
-                agent, catalog_version = self.sessions.get(tenant).leased_agent(
+                session = self.sessions.get(tenant)
+                agent, catalog_version = session.leased_agent(
                     scheme, model, quant)
                 queries = [batch[position].payload.query for position in positions]
-                plans = self._plan_group(agent, tenant, scheme, model, quant,
-                                         queries, catalog_version)
+                if traced:
+                    # synthesize queue spans from the scheduler's own
+                    # enqueue/dequeue stamps (same monotonic clock)
+                    for position, trace in zip(positions, group_traces):
+                        if trace is None:
+                            continue
+                        request = batch[position]
+                        queue_span = tracer.start_span(
+                            trace, "queue", start_s=request.enqueued_at,
+                            attributes={"batch_size": request.batch_size})
+                        tracer.end_span(queue_span,
+                                        end_s=request.dequeued_at)
+                plan_start = time.monotonic()
+                plans, plan_hits = self._plan_group(
+                    agent, tenant, scheme, model, quant, queries,
+                    catalog_version)
+                if traced:
+                    plan_end = time.monotonic()
+                    # the group plans in one vectorized pass; each traced
+                    # request gets its share of the pass as a span
+                    for trace, hit in zip(group_traces, plan_hits):
+                        if trace is None:
+                            continue
+                        plan_span = tracer.start_span(
+                            trace, "plan", start_s=plan_start,
+                            attributes={"group_size": len(positions),
+                                        "cache_hit": hit})
+                        tracer.end_span(plan_span, end_s=plan_end)
                 stage = self._process_stage
-                if stage is not None and stage.covers(tenant):
-                    episodes = stage.execute(tenant, scheme, model, quant,
-                                             queries, plans,
-                                             inline=agent.run_planned_many)
-                else:
-                    episodes = agent.run_planned_many(queries, plans)
-                for position, episode in zip(positions, episodes):
+                use_worker = stage is not None and stage.covers(tenant)
+                execute_spans = [None] * len(positions)
+                if traced:
+                    backend = "worker" if use_worker else "inline"
+                    execute_traces: list[TraceContext | None] = []
+                    for index, trace in enumerate(group_traces):
+                        if trace is None:
+                            execute_traces.append(None)
+                            continue
+                        span = tracer.start_span(
+                            trace, "execute", attributes={"backend": backend})
+                        execute_spans[index] = span
+                        execute_traces.append(trace.child(span.span_id))
+                try:
+                    if use_worker:
+                        if traced:
+                            episodes = stage.execute(
+                                tenant, scheme, model, quant, queries, plans,
+                                inline=agent.run_planned_many,
+                                traces=execute_traces)
+                        else:
+                            episodes = stage.execute(
+                                tenant, scheme, model, quant, queries, plans,
+                                inline=agent.run_planned_many)
+                    else:
+                        episodes = agent.run_planned_many(queries, plans)
+                except Exception:
+                    for span in execute_spans:
+                        if span is not None:
+                            tracer.end_span(span, status="error")
+                    raise
+                for span in execute_spans:
+                    if span is not None:
+                        tracer.end_span(span)
+                variant = getattr(session.suite.catalog, "variant", "full")
+                for plan, position, episode in zip(plans, positions, episodes):
                     request = batch[position]
+                    self.costs_ledger.record(CostRecord(
+                        tenant=tenant,
+                        variant=variant,
+                        tool_prompt_tokens=plan_tool_tokens(plan),
+                        prompt_tokens=getattr(episode, "prompt_tokens", 0),
+                        completion_tokens=getattr(
+                            episode, "completion_tokens", 0),
+                        llm_calls=getattr(episode, "n_llm_calls", 0),
+                        catalog_version=catalog_version,
+                    ))
                     responses[position] = ServingResponse(
                         tenant=tenant,
                         episode=episode,
@@ -416,8 +548,12 @@ class Gateway:
 
     def _plan_group(self, agent, tenant: str, scheme: str, model: str,
                     quant: str, queries: list[Query],
-                    catalog_version: str = "") -> list:
+                    catalog_version: str = "") -> tuple[list, list[bool]]:
         """Plan one (tenant, cell) group, serving repeats from the cache.
+
+        Returns ``(plans, cache_hits)`` — one plan and one hit flag per
+        query (all flags ``False`` with the cache disabled), so plan
+        spans can attribute cache hits per request.
 
         With ``plan_cache_size=0`` this is exactly ``agent.plan_batch``.
         Otherwise cached queries skip planning and only the misses ride
@@ -428,16 +564,17 @@ class Gateway:
         """
         cache = self._plan_cache
         if cache is None:
-            return agent.plan_batch(queries)
+            return agent.plan_batch(queries), [False] * len(queries)
         keys = [cache.key(tenant, query, scheme, model, quant, catalog_version)
                 for query in queries]
         plans: list = [cache.get(key) for key in keys]
-        for plan in plans:
-            self.telemetry.record_plan_lookup(hit=plan is not None)
+        hits = [plan is not None for plan in plans]
+        for hit in hits:
+            self.telemetry.record_plan_lookup(hit=hit)
         misses = [index for index, plan in enumerate(plans) if plan is None]
         if misses:
             fresh = agent.plan_batch([queries[index] for index in misses])
             for index, plan in zip(misses, fresh):
                 plans[index] = plan
                 cache.put(keys[index], plan)
-        return plans
+        return plans, hits

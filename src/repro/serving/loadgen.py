@@ -41,6 +41,8 @@ class LoadReport:
     #: qid -> episode, for equivalence checks against the offline runner
     episodes: dict[str, EpisodeResult] = field(repr=False, default_factory=dict)
     gateway_metrics: dict = field(default_factory=dict)
+    #: per-tenant token accounting (:meth:`Gateway.costs` at run end)
+    cost: dict = field(default_factory=dict)
     #: requests that failed (only populated under ``tolerate_errors``)
     n_errors: int = 0
 
@@ -107,6 +109,7 @@ async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
         latencies_s=latencies,
         episodes=episodes,
         gateway_metrics=gateway.metrics(),
+        cost=gateway.costs(),
         n_errors=errors[0],
     )
 
@@ -135,12 +138,17 @@ def run_load(
     embedder=None,
     faults=None,
     tolerate_errors: bool = False,
+    tracer=None,
 ) -> LoadReport:
     """Boot a gateway over ``suites``, drive it closed-loop, shut it down.
 
     ``faults`` (a :class:`~repro.serving.faults.FaultPlan` or injector)
     arms the gateway's chaos hooks for the run; pair it with
     ``tolerate_errors`` so injected failures are counted, not raised.
+    ``tracer`` overrides the tracer ``config.obs`` would build — pass a
+    :class:`~repro.obs.trace.Tracer` over a
+    :class:`~repro.obs.sinks.MemorySink` you keep a handle on to inspect
+    the run's spans afterwards.
     """
     sessions = SessionManager(embedder=embedder)
     for tenant, suite in suites.items():
@@ -148,7 +156,8 @@ def run_load(
     workload = make_workload(suites, n_requests)
 
     async def session() -> LoadReport:
-        async with Gateway(sessions, config=config, faults=faults) as gateway:
+        async with Gateway(sessions, config=config, faults=faults,
+                           tracer=tracer) as gateway:
             return await run_closed_loop(gateway, workload, concurrency,
                                          tolerate_errors=tolerate_errors)
 

@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.episode import EpisodeResult
 from repro.evaluation.runner import ExperimentRunner
+from repro.obs.trace import worker_slice_span
 from repro.registry import register_serving_backend
 from repro.suites.base import Query
 
@@ -183,15 +184,20 @@ class ProcessEpisodeExecutor:
         """
         self._tenants = self._tenants - {tenant}
 
-    def submit_slice(self, cell: tuple[str, str, str, str], pairs):
-        """Submit one worker slice of (query, plan) pairs; returns a future."""
+    def submit_slice(self, cell: tuple[str, str, str, str], items):
+        """Submit one worker slice of (query, plan, trace) triples.
+
+        Returns a future resolving to ``(episodes, spans)`` — the slice's
+        results plus one pickled-back ``worker-slice`` span per traced
+        episode (an empty list when no triple carries a trace context).
+        """
         if self._pool is None:
             raise RuntimeError("executor is not running")
-        return self._pool.submit(_execute_slice, cell, pairs)
+        return self._pool.submit(_execute_slice, cell, items)
 
     def execute(self, tenant: str, scheme: str, model: str, quant: str,
                 queries: list[Query], plans: list,
-                inline=None) -> list[EpisodeResult]:
+                inline=None, traces=None) -> list[EpisodeResult]:
         """Run one planned group across the pool, preserving order.
 
         The group's episodes are dealt round-robin into one slice per
@@ -199,19 +205,24 @@ class ProcessEpisodeExecutor:
         pickling overhead is paid per slice, not per episode.  ``inline``
         is accepted for signature parity with the supervised stage and
         ignored: this bare executor propagates worker failures.
+        ``traces`` rides along per request but the bare executor has no
+        tracer, so returned spans are dropped; use the supervised stage
+        for traced serving.
         """
         cell = (tenant, scheme, model, quant)
-        pairs = list(zip(queries, plans))
-        n_slices = min(self.workers, len(pairs))
+        items = list(zip(queries, plans,
+                         traces if traces is not None else [None] * len(queries)))
+        n_slices = min(self.workers, len(items))
         if n_slices == 0:
             return []
         futures = [
-            self.submit_slice(cell, pairs[start::n_slices])
+            self.submit_slice(cell, items[start::n_slices])
             for start in range(n_slices)
         ]
-        episodes: list[EpisodeResult | None] = [None] * len(pairs)
+        episodes: list[EpisodeResult | None] = [None] * len(items)
         for start, future in enumerate(futures):
-            episodes[start::n_slices] = future.result()
+            slice_episodes, _spans = future.result()
+            episodes[start::n_slices] = slice_episodes
         return episodes
 
 
@@ -258,6 +269,7 @@ class SupervisedEpisodeExecutor:
         self.slice_timeout_s = slice_timeout_s
         self.telemetry = None
         self.faults = None
+        self.tracer = None
         self._runners_fn = None
         self._inner: ProcessEpisodeExecutor | None = None
         self._lock = threading.Lock()
@@ -267,7 +279,8 @@ class SupervisedEpisodeExecutor:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def bind(self, telemetry=None, faults=None, runners_fn=None) -> None:
+    def bind(self, telemetry=None, faults=None, runners_fn=None,
+             tracer=None) -> None:
         """Attach gateway collaborators (called before :meth:`start`)."""
         if telemetry is not None:
             self.telemetry = telemetry
@@ -275,6 +288,8 @@ class SupervisedEpisodeExecutor:
             self.faults = faults
         if runners_fn is not None:
             self._runners_fn = runners_fn
+        if tracer is not None:
+            self.tracer = tracer
 
     def _new_pool(self) -> ProcessEpisodeExecutor:
         return ProcessEpisodeExecutor(workers=self.workers,
@@ -330,34 +345,51 @@ class SupervisedEpisodeExecutor:
     # ------------------------------------------------------------------
     def execute(self, tenant: str, scheme: str, model: str, quant: str,
                 queries: list[Query], plans: list,
-                inline=None) -> list[EpisodeResult]:
-        """Run one planned group, surviving worker death mid-flight."""
+                inline=None, traces=None) -> list[EpisodeResult]:
+        """Run one planned group, surviving worker death mid-flight.
+
+        ``traces`` (one :class:`~repro.obs.trace.TraceContext` or
+        ``None`` per request) crosses the pickle boundary with its
+        (query, plan); traced episodes come back with a ``worker-slice``
+        span built inside the worker — or an ``inline-slice`` span when
+        the fallback ran them on this thread — emitted through the bound
+        tracer.  Retries, injected crashes and fallbacks are recorded as
+        events on the owning traces.
+        """
         pool = self._inner
         if pool is None:
             raise RuntimeError("executor is not running")
         if self.faults is not None:
             action = self.faults.decide("process.execute")
             if action is not None and action.kind == "crash":
-                if self.kill_one_worker() is not None and self.telemetry:
-                    self.telemetry.record_fault("process.execute")
+                if self.kill_one_worker() is not None:
+                    if self.telemetry:
+                        self.telemetry.record_fault("process.execute")
+                    if self.tracer is not None and traces:
+                        for ctx in traces:
+                            self.tracer.event(ctx, "fault",
+                                              {"hook": "process.execute"})
         cell = (tenant, scheme, model, quant)
-        pairs = list(zip(queries, plans))
-        n_slices = min(pool.workers, len(pairs))
+        items = list(zip(queries, plans,
+                         traces if traces is not None else [None] * len(queries)))
+        n_slices = min(pool.workers, len(items))
         if n_slices == 0:
             return []
-        slices = [pairs[start::n_slices] for start in range(n_slices)]
+        slices = [items[start::n_slices] for start in range(n_slices)]
         try:
             futures = [pool.submit_slice(cell, chunk) for chunk in slices]
         except (BrokenProcessPool, RuntimeError):
             # the pool died between covers() and dispatch
             self._note_broken(pool)
             futures = [None] * len(slices)
-        episodes: list[EpisodeResult | None] = [None] * len(pairs)
+        episodes: list[EpisodeResult | None] = [None] * len(items)
         for start, (future, chunk) in enumerate(zip(futures, slices)):
             results = None
             if future is not None:
                 try:
-                    results = future.result(timeout=self.slice_timeout_s)
+                    results, spans = future.result(
+                        timeout=self.slice_timeout_s)
+                    self._emit_spans(spans)
                 except (BrokenProcessPool, FutureTimeoutError):
                     self._note_broken(pool)
             if results is None:
@@ -365,9 +397,16 @@ class SupervisedEpisodeExecutor:
             episodes[start::n_slices] = results
         return episodes
 
-    def _recover_slice(self, cell, pairs, inline) -> list[EpisodeResult]:
+    def _emit_spans(self, spans) -> None:
+        """Emit worker-built (pickled-back) spans through the tracer."""
+        if self.tracer is not None:
+            for span in spans:
+                self.tracer.emit(span)
+
+    def _recover_slice(self, cell, items, inline) -> list[EpisodeResult]:
         """Retry one failed slice with backoff, then fall back inline."""
         tenant = cell[0]
+        tracer = self.tracer
         for attempt in range(1, self.max_retries + 1):
             time.sleep(self.retry_backoff_s * attempt)
             pool = self._inner
@@ -375,9 +414,14 @@ class SupervisedEpisodeExecutor:
                 continue  # respawn still in flight
             if self.telemetry:
                 self.telemetry.record_slice_retry()
+            if tracer is not None:
+                for _, _, ctx in items:
+                    tracer.event(ctx, "retry", {"attempt": attempt})
             try:
-                return pool.submit_slice(cell, pairs).result(
+                results, spans = pool.submit_slice(cell, items).result(
                     timeout=self.slice_timeout_s)
+                self._emit_spans(spans)
+                return results
             except (BrokenProcessPool, FutureTimeoutError, RuntimeError):
                 self._note_broken(pool)
         if self.telemetry:
@@ -386,8 +430,23 @@ class SupervisedEpisodeExecutor:
             raise BrokenProcessPool(
                 f"worker pool died executing {cell!r} and no inline "
                 f"fallback was provided")
-        return inline([query for query, _ in pairs],
-                      [plan for _, plan in pairs])
+        if tracer is not None:
+            for _, _, ctx in items:
+                tracer.event(ctx, "inline_fallback", {})
+            # run per episode so each traced one gets its own timed
+            # inline-slice span; episodes are deterministic per (query,
+            # plan), so splitting the call changes nothing but timing
+            episodes = []
+            for query, plan, ctx in items:
+                started = time.monotonic()
+                episodes.extend(inline([query], [plan]))
+                if ctx is not None:
+                    tracer.emit(worker_slice_span(
+                        ctx, query.qid, started, time.monotonic(),
+                        inline=True))
+            return episodes
+        return inline([query for query, _, _ in items],
+                      [plan for _, plan, _ in items])
 
     # ------------------------------------------------------------------
     # supervision
@@ -466,8 +525,25 @@ def _agent_for(cell: tuple[str, str, str, str]):
     return agent
 
 
-def _execute_slice(cell: tuple[str, str, str, str], pairs) -> list[EpisodeResult]:
-    """Execute one worker's slice of a planned group."""
+def _execute_slice(cell: tuple[str, str, str, str], items):
+    """Execute one worker's slice of a planned group.
+
+    ``items`` are (query, plan, trace-context-or-None) triples; returns
+    ``(episodes, spans)`` where ``spans`` holds one timed
+    ``worker-slice`` span per traced episode, built here — inside the
+    worker, carrying this process's pid — and pickled back for the
+    parent's tracer to emit.  Untraced slices pay nothing but the
+    ``ctx is None`` check per episode.
+    """
     agent = _agent_for(cell)
-    return agent.run_planned_many([query for query, _ in pairs],
-                                  [plan for _, plan in pairs])
+    episodes: list[EpisodeResult] = []
+    spans = []
+    for query, plan, ctx in items:
+        if ctx is None:
+            episodes.append(agent.run_planned(query, plan))
+            continue
+        started = time.monotonic()
+        episodes.append(agent.run_planned(query, plan))
+        spans.append(worker_slice_span(ctx, query.qid, started,
+                                       time.monotonic()))
+    return episodes, spans

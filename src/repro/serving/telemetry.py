@@ -9,6 +9,7 @@ the bench harness writes into ``BENCH_perf.json``.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 
 
@@ -62,12 +63,21 @@ class Telemetry:
         long-lived gateway cannot grow without limit; once full, new
         samples overwrite the oldest (each list is its own ring buffer).
         Counters and the batch-size histogram are exact regardless.
+
+    Because the sample lists are rings, the latency/queue-depth
+    percentiles in :meth:`snapshot` are **windowed** over the most
+    recent ``max_samples`` observations — they are not lifetime
+    statistics.  Counters, by contrast, are lifetime-exact; pair them
+    with the snapshot's ``uptime_s`` (or deltas across ``snapshot_seq``)
+    to derive rates.
     """
 
     def __init__(self, max_samples: int = 100_000):
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.max_samples = max_samples
+        self._started_at = time.monotonic()
+        self._snapshot_seq = 0
         self._lock = threading.Lock()
         self._admitted = 0
         self._rejected = 0
@@ -83,6 +93,7 @@ class Telemetry:
         self._slice_retries = 0
         self._inline_fallbacks = 0
         self._batch_quarantines = 0
+        self._quarantined_requests = 0
         self._deadline_timeouts = 0
         self._shed_requests: Counter[str] = Counter()
         self._faults_injected: Counter[str] = Counter()
@@ -136,9 +147,11 @@ class Telemetry:
             self._inline_fallbacks += 1
 
     def record_batch_quarantine(self, batch_size: int) -> None:
-        """One failed micro-batch re-processed request-by-request."""
+        """One failed micro-batch of ``batch_size`` requests re-processed
+        request-by-request (both the batch and its requests are counted)."""
         with self._lock:
             self._batch_quarantines += 1
+            self._quarantined_requests += int(batch_size)
 
     def record_deadline_timeout(self) -> None:
         """One request abandoned because its end-to-end deadline expired."""
@@ -173,8 +186,19 @@ class Telemetry:
     # views
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Point-in-time metrics dict (JSON-serializable)."""
+        """Point-in-time metrics dict (JSON-serializable).
+
+        Latency and queue-depth percentiles are **windowed** over the
+        most recent ``max_samples`` observations (the sample rings), not
+        the process lifetime; counters are lifetime-exact.  ``uptime_s``
+        (monotonic seconds since construction) and ``snapshot_seq``
+        (incremented per snapshot) let scrapers compute rates and detect
+        restarts between scrapes.
+        """
         with self._lock:
+            self._snapshot_seq += 1
+            snapshot_seq = self._snapshot_seq
+            uptime_s = time.monotonic() - self._started_at
             latencies = self._latencies_s.values()
             depths = self._queue_depths.values()
             sizes = dict(sorted(self._batch_sizes.items()))
@@ -186,6 +210,7 @@ class Telemetry:
             slice_retries = self._slice_retries
             inline_fallbacks = self._inline_fallbacks
             batch_quarantines = self._batch_quarantines
+            quarantined_requests = self._quarantined_requests
             deadline_timeouts = self._deadline_timeouts
             shed_requests = dict(self._shed_requests)
             faults_injected = dict(self._faults_injected)
@@ -194,6 +219,8 @@ class Telemetry:
         plan_lookups = plan_hits + plan_misses
         n_batched = sum(size * count for size, count in sizes.items())
         return {
+            "uptime_s": uptime_s,
+            "snapshot_seq": snapshot_seq,
             "requests_admitted": admitted,
             "requests_rejected": rejected,
             "requests_completed": completed,
@@ -219,6 +246,7 @@ class Telemetry:
             "slice_retries": slice_retries,
             "inline_fallbacks": inline_fallbacks,
             "batch_quarantines": batch_quarantines,
+            "quarantined_requests": quarantined_requests,
             "deadline_timeouts": deadline_timeouts,
             "shed_requests": sum(shed_requests.values()),
             "shed_requests_by_tenant": shed_requests,

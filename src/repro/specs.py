@@ -265,6 +265,64 @@ class TenantSpec(_SpecBase):
         return self.suite.replace(catalog=self.catalog)
 
 
+#: trace sinks every install ships — mirror the builtin names declared
+#: on repro.registry.TRACE_SINKS (kept in sync by tests/test_specs.py)
+#: so constructing an ObsSpec stays import-free for the common names
+TRACE_SINK_BUILTINS = ("memory", "jsonl", "null")
+
+
+@dataclass(frozen=True)
+class ObsSpec(_SpecBase):
+    """Observability configuration: tracing, sampling, slow-span marking.
+
+    ``sink`` names a registered trace sink
+    (:data:`repro.registry.TRACE_SINKS`): ``memory`` retains the last
+    ``ring_capacity`` spans queryable by trace id, ``jsonl`` streams one
+    JSON span per line to ``sink_path``, ``null`` discards spans (for
+    measuring tracer overhead).  ``sample_rate`` selects the fraction of
+    requests traced; the decision is derived from the deterministic
+    trace id, so the sampled subset is reproducible run-to-run.
+    ``slow_span_ms`` marks spans at or above the threshold with a
+    ``slow`` attribute.
+    """
+
+    sink: str = "memory"
+    sink_path: str | None = None
+    sample_rate: float = 1.0
+    slow_span_ms: float | None = None
+    ring_capacity: int = 2048
+
+    def __post_init__(self):
+        _require(bool(self.sink), "ObsSpec.sink must be a non-empty string")
+        if self.sink not in TRACE_SINK_BUILTINS:
+            from repro.registry import TRACE_SINKS
+
+            # import-free for the builtin names above; an unknown name
+            # loads the sink module to give a definitive answer
+            if self.sink not in TRACE_SINKS:
+                raise ValueError(
+                    f"unknown trace sink {self.sink!r}; registered trace "
+                    f"sinks: {', '.join(TRACE_SINKS.names())}")
+        _require(0.0 <= self.sample_rate <= 1.0,
+                 f"ObsSpec.sample_rate must be in [0, 1], "
+                 f"got {self.sample_rate}")
+        _require(self.slow_span_ms is None or self.slow_span_ms > 0.0,
+                 f"ObsSpec.slow_span_ms must be > 0 (or None), "
+                 f"got {self.slow_span_ms}")
+        _require(self.ring_capacity >= 1,
+                 f"ObsSpec.ring_capacity must be >= 1, "
+                 f"got {self.ring_capacity}")
+        _require(self.sink != "jsonl" or bool(self.sink_path),
+                 "ObsSpec(sink='jsonl') requires sink_path to name the "
+                 "output file")
+
+    def build_tracer(self):
+        """Construct the configured :class:`~repro.obs.trace.Tracer`."""
+        from repro.obs.trace import build_tracer
+
+        return build_tracer(self)
+
+
 @dataclass(frozen=True)
 class ServingSpec(_SpecBase):
     """Declarative gateway configuration: tenants + batching + execution.
@@ -294,6 +352,7 @@ class ServingSpec(_SpecBase):
     execution_retries: int = 2
     retry_backoff_ms: float = 50.0
     slice_timeout_s: float | None = 30.0
+    obs: ObsSpec | None = None
 
     def __post_init__(self):
         tenants = tuple(
@@ -344,6 +403,11 @@ class ServingSpec(_SpecBase):
         _require(self.slice_timeout_s is None or self.slice_timeout_s > 0.0,
                  f"slice_timeout_s must be > 0 (or None), "
                  f"got {self.slice_timeout_s}")
+        if isinstance(self.obs, dict):
+            object.__setattr__(self, "obs", ObsSpec.from_dict(self.obs))
+        _require(self.obs is None or isinstance(self.obs, ObsSpec),
+                 f"ServingSpec.obs must be an ObsSpec, "
+                 f"got {type(self.obs).__name__}")
 
     def to_config(self):
         """The runtime :class:`ServingConfig` equivalent of this spec."""
@@ -364,6 +428,7 @@ class ServingSpec(_SpecBase):
             execution_retries=self.execution_retries,
             retry_backoff_ms=self.retry_backoff_ms,
             slice_timeout_s=self.slice_timeout_s,
+            obs=self.obs,
         )
 
     @classmethod
@@ -417,6 +482,7 @@ __all__ = [
     "CatalogSpec",
     "ExperimentSpec",
     "GridSpec",
+    "ObsSpec",
     "ServingSpec",
     "SuiteSpec",
     "TenantSpec",

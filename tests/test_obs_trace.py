@@ -1,0 +1,267 @@
+"""Tracing acceptance: deterministic ids, complete span trees, and
+context propagation across the thread and process-pool boundaries.
+
+The contracts under test, in the order ISSUE/ROADMAP state them:
+
+* trace ids are a pure function of ``(tenant, qid, repeat)`` — the same
+  workload names the same traces on every run, thread or process backend
+  alike, and a sample rate keeps a *reproducible* subset;
+* one served request yields one complete span tree (``request`` →
+  ``queue`` / ``plan`` / ``execute``) retrievable by trace id from a
+  :class:`~repro.obs.sinks.MemorySink`;
+* :class:`~repro.obs.trace.TraceContext` survives pickling, worker-slice
+  spans come back from pool workers carrying the worker's pid, and an
+  inline fallback is distinguishable by span name alone;
+* tracing never perturbs results — episodes stay bitwise identical to
+  the sequential runner with tracing enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+
+from repro.embedding.cache import CachedEmbedder
+from repro.evaluation.runner import ExperimentRunner
+from repro.obs import (
+    MemorySink,
+    TraceContext,
+    Tracer,
+    read_jsonl_spans,
+    worker_slice_span,
+)
+from repro.serving import (
+    FaultPlan,
+    Gateway,
+    ServingConfig,
+    SessionManager,
+    run_load,
+)
+from repro.specs import ObsSpec
+from repro.suites import load_suite
+
+MODEL, QUANT = "hermes2-pro-8b", "q4_K_M"
+WORKERS = int(os.environ.get("REPRO_PROCESS_WORKERS", "2"))
+
+
+def _memory_tracer(sample_rate: float = 1.0) -> tuple[Tracer, MemorySink]:
+    sink = MemorySink()
+    return Tracer(sink, sample_rate=sample_rate), sink
+
+
+def _serve(suite, config: ServingConfig, tracer: Tracer | None,
+           queries=None, faults=None):
+    """Submit ``queries`` through one gateway; return the responses."""
+
+    async def scenario():
+        sessions = SessionManager()
+        sessions.register("home", suite)
+        async with Gateway(sessions, config=config, faults=faults,
+                           tracer=tracer) as gateway:
+            return await asyncio.gather(*(
+                gateway.submit("home", query)
+                for query in (queries or suite.queries)))
+
+    return asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# deterministic ids and sampling
+# ----------------------------------------------------------------------
+def test_trace_ids_are_pure_functions_of_tenant_qid_repeat():
+    tracer_a, _ = _memory_tracer()
+    tracer_b, _ = _memory_tracer()
+    keys = [("home", "q-1"), ("home", "q-2"), ("home", "q-1"),
+            ("office", "q-1")]
+    ids_a = [tracer_a.begin(tenant, qid).trace_id for tenant, qid in keys]
+    ids_b = [tracer_b.begin(tenant, qid).trace_id for tenant, qid in keys]
+    assert ids_a == ids_b
+    # repeats of the same key and other tenants get distinct ids
+    assert len(set(ids_a)) == len(ids_a)
+
+
+def test_sampling_keeps_a_reproducible_subset():
+    qids = [f"q-{i}" for i in range(256)]
+
+    def sampled(tracer: Tracer) -> set[str]:
+        return {qid for qid in qids
+                if tracer.begin("home", qid) is not None}
+
+    subset_a = sampled(Tracer(MemorySink(), sample_rate=0.25))
+    subset_b = sampled(Tracer(MemorySink(), sample_rate=0.25))
+    assert subset_a == subset_b
+    assert 0 < len(subset_a) < len(qids)
+    # widening the rate only adds traces, never drops one (the decision
+    # threshold is monotone in the rate, per trace id)
+    wider = sampled(Tracer(MemorySink(), sample_rate=0.75))
+    assert subset_a <= wider
+    assert sampled(Tracer(MemorySink(), sample_rate=0.0)) == set()
+    assert sampled(Tracer(MemorySink(), sample_rate=1.0)) == set(qids)
+
+
+def test_trace_context_pickle_roundtrip():
+    ctx = TraceContext(trace_id="deadbeefcafef00d", span_id="0123456789abcdef")
+    clone = pickle.loads(pickle.dumps(ctx))
+    assert clone == ctx
+    child = clone.child("fedcba9876543210")
+    assert child.trace_id == ctx.trace_id
+    assert child.span_id == "fedcba9876543210"
+
+
+# ----------------------------------------------------------------------
+# one request -> one complete span tree
+# ----------------------------------------------------------------------
+def test_single_request_produces_complete_span_tree():
+    suite = load_suite("edgehome", n_queries=4)
+    tracer, sink = _memory_tracer()
+    config = ServingConfig(max_batch_size=4, max_wait_ms=2.0)
+    [response] = _serve(suite, config, tracer, queries=[suite.queries[0]])
+    assert response.episode is not None
+
+    [trace_id] = sink.trace_ids()
+    spans = {span.name: span for span in sink.trace(trace_id)}
+    assert set(spans) == {"request", "queue", "plan", "execute"}
+    root = spans["request"]
+    assert root.parent_id == ""
+    assert root.attributes["tenant"] == "home"
+    assert root.attributes["qid"] == response.episode.qid
+    assert {event.name for event in root.events} >= {"admit", "reply"}
+    for name in ("queue", "plan", "execute"):
+        assert spans[name].parent_id == root.span_id, name
+        assert spans[name].status == "ok"
+    assert spans["execute"].attributes["backend"] == "inline"
+    # the tree renders (demo/debug aid) and names every span
+    tree = sink.render_tree(trace_id)
+    for name in spans:
+        assert name in tree
+
+
+def test_same_workload_names_the_same_traces_across_runs():
+    suite = load_suite("edgehome", n_queries=6)
+    config = ServingConfig(max_batch_size=4, max_wait_ms=2.0)
+    ids = []
+    for _ in range(2):
+        tracer, sink = _memory_tracer()
+        _serve(suite, config, tracer)
+        ids.append(set(sink.trace_ids()))
+    assert ids[0] == ids[1]
+
+
+# ----------------------------------------------------------------------
+# the process-pool boundary
+# ----------------------------------------------------------------------
+def test_worker_slice_spans_cross_the_pickle_boundary():
+    suite = load_suite("edgehome", n_queries=6)
+    tracer, sink = _memory_tracer()
+    config = ServingConfig(max_batch_size=4, max_wait_ms=2.0,
+                           execution_backend="process",
+                           execution_workers=WORKERS,
+                           slice_timeout_s=30.0)
+    responses = _serve(suite, config, tracer)
+    assert all(response.episode is not None for response in responses)
+
+    slices = [span for span in sink.spans() if span.name == "worker-slice"]
+    executes = {span.span_id: span for span in sink.spans()
+                if span.name == "execute"}
+    qids = {query.qid for query in suite.queries}
+    assert len(slices) == len(suite.queries)
+    for span in slices:
+        # built inside the pool worker, pickled back to the parent
+        assert span.attributes["pid"] != os.getpid()
+        assert span.attributes["qid"] in qids
+        # parents to its request's execute span (id survived pickling)
+        assert span.parent_id in executes
+        assert executes[span.parent_id].trace_id == span.trace_id
+        assert executes[span.parent_id].attributes["backend"] == "worker"
+    # every trace id a worker saw is a trace the gateway started
+    gateway_ids = {span.trace_id for span in sink.spans()
+                   if span.name == "request"}
+    assert {span.trace_id for span in slices} <= gateway_ids
+
+
+def test_inline_fallback_slices_are_distinguishable():
+    """With every group crashing a worker and zero retries, episodes run
+    through the inline fallback — named ``inline-slice``, parent pid."""
+    suite = load_suite("edgehome", n_queries=4)
+    tracer, sink = _memory_tracer()
+    config = ServingConfig(max_batch_size=2, max_wait_ms=2.0,
+                           execution_backend="process",
+                           execution_workers=WORKERS,
+                           execution_retries=0, retry_backoff_ms=10.0,
+                           slice_timeout_s=30.0)
+    responses = _serve(suite, config, tracer,
+                       faults=FaultPlan(seed=2, worker_crash_rate=1.0))
+    assert all(response.episode is not None for response in responses)
+
+    by_name = {}
+    for span in sink.spans():
+        by_name.setdefault(span.name, []).append(span)
+    inline_slices = by_name.get("inline-slice", [])
+    assert inline_slices, "crash-everything run produced no inline slices"
+    assert not by_name.get("worker-slice"), \
+        "worker slices survived a crash-every-group plan with 0 retries"
+    for span in inline_slices:
+        assert span.attributes["pid"] == os.getpid()
+    # the fallback decision itself is an event on the owning trace
+    fallback_events = [event
+                       for spans in by_name.values() for span in spans
+                       for event in span.events
+                       if event.name == "inline_fallback"]
+    assert fallback_events
+
+
+def test_worker_slice_span_helper_names_both_sides():
+    ctx = TraceContext("feedfacefeedface", "0011223344556677")
+    worker = worker_slice_span(ctx, "q-1", 1.0, 2.0)
+    inline = worker_slice_span(ctx, "q-1", 1.0, 2.0, inline=True)
+    assert worker.name == "worker-slice"
+    assert inline.name == "inline-slice"
+    assert worker.parent_id == inline.parent_id == ctx.span_id
+    assert worker.duration_ms == inline.duration_ms == 1000.0
+
+
+# ----------------------------------------------------------------------
+# tracing is a pure observer
+# ----------------------------------------------------------------------
+def test_tracing_preserves_bitwise_equivalence():
+    suite = load_suite("edgehome", n_queries=8)
+    reference = {
+        episode.qid: episode
+        for episode in ExperimentRunner(suite, embedder=CachedEmbedder())
+        .run("lis-k3", MODEL, QUANT).episodes
+    }
+    tracer, sink = _memory_tracer()
+    config = ServingConfig(max_batch_size=4, max_wait_ms=2.0)
+    responses = _serve(suite, config, tracer)
+    assert len(sink.trace_ids()) == len(suite.queries)
+    for response in responses:
+        assert response.episode == reference[response.episode.qid]
+
+
+def test_obs_spec_wires_a_jsonl_artifact(tmp_path):
+    """``ServingConfig.obs`` alone (no explicit tracer) builds the tracer
+    and the JSONL sink writes one span per line, readable back."""
+    path = tmp_path / "trace.jsonl"
+    suite = load_suite("edgehome", n_queries=4)
+    config = ServingConfig(
+        max_batch_size=4, max_wait_ms=2.0,
+        obs=ObsSpec(sink="jsonl", sink_path=str(path)))
+    report = run_load({"home": suite}, config, n_requests=4, concurrency=4)
+    assert report.n_errors == 0
+    spans = read_jsonl_spans(str(path))
+    assert {span["name"] for span in spans} == {
+        "request", "queue", "plan", "execute"}
+    roots = [span for span in spans if span["name"] == "request"]
+    assert len(roots) == 4
+    for span in spans:
+        assert span["end_s"] >= span["start_s"]
+
+
+def test_memory_sink_ring_evicts_oldest():
+    tracer = Tracer(sink := MemorySink(capacity=3))
+    for i in range(5):
+        ctx = TraceContext(trace_id=f"{i:016x}")
+        tracer.end_span(tracer.start_span(ctx, "request"))
+    assert len(sink) == 3
+    assert sink.trace_ids() == [f"{i:016x}" for i in (2, 3, 4)]

@@ -36,7 +36,8 @@ def _report(**overrides) -> dict:
         "grid": {"sequential_s": 0.2, "parallel_s": 0.18, "process_s": 0.5},
         "serving": {"batched_req_per_s": 2_000.0,
                     "speedup_vs_sequential": 2.2,
-                    "chaos": {"success_rate": 1.0}},
+                    "chaos": {"success_rate": 1.0},
+                    "obs": {"req_per_s_sample_1": 1_800.0}},
     }
     for dotted, value in overrides.items():
         *path, metric = dotted.split(".")
@@ -187,6 +188,12 @@ def test_bench_main_writes_guarded_shape(tmp_path, monkeypatch, capsys):
         **stub["serving"]["chaos"],
         "faults_injected": 3, "worker_restarts": 3, "slice_retries": 4,
         "inline_fallbacks": 0, "req_per_s": 150.0,
+    })
+    monkeypatch.setattr(bench, "bench_obs", lambda: {
+        **stub["serving"]["obs"],
+        "req_per_s_untraced": 2_000.0, "req_per_s_sample_0": 1_990.0,
+        "req_per_s_sample_0_1": 1_950.0, "overhead_frac_sample_1": 0.1,
+        "cost": {"total": {"requests": 512}, "by_tenant": {}},
     })
 
     output = tmp_path / "report.json"

@@ -145,3 +145,23 @@ def test_max_samples_bounds_latency_ring_but_not_counters():
 def test_max_samples_must_be_positive():
     with pytest.raises(ValueError, match="max_samples"):
         Telemetry(max_samples=0)
+
+
+def test_batch_quarantine_counts_both_batch_and_requests():
+    telemetry = Telemetry()
+    telemetry.record_batch_quarantine(4)
+    telemetry.record_batch_quarantine(2)
+    snapshot = telemetry.snapshot()
+    assert snapshot["batch_quarantines"] == 2
+    # the argument is the quarantined batch's size, not ignored
+    assert snapshot["quarantined_requests"] == 6
+
+
+def test_snapshot_seq_and_uptime_progress():
+    telemetry = Telemetry()
+    first = telemetry.snapshot()
+    second = telemetry.snapshot()
+    assert (first["snapshot_seq"], second["snapshot_seq"]) == (1, 2)
+    assert 0.0 <= first["uptime_s"] <= second["uptime_s"]
+    # a fresh instance restarts the sequence (the scraper's restart signal)
+    assert Telemetry().snapshot()["snapshot_seq"] == 1
