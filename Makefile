@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process test-chaos examples-smoke bench bench-check bench-serving bench-obs bench-paper
+.PHONY: test test-process test-chaos examples-smoke serve-smoke bench bench-check bench-serving bench-obs bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -33,6 +33,11 @@ examples-smoke:
 	## variant diff exits 1 (like diff(1)) — assert exactly that
 	$(PYTHON) -m repro catalog diff edgehome edgehome \
 		--against-variant minimal > /dev/null; test $$? -eq 1
+
+## boot `repro serve` on an ephemeral port, hit /healthz, /v1/call and
+## /metrics over real sockets, SIGINT and assert a clean shutdown
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 ## regenerate the committed perf baseline at the repo root
 bench:

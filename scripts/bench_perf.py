@@ -28,7 +28,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
 from bench_obs import bench_obs  # noqa: E402
-from bench_serving import bench_serving, bench_serving_chaos  # noqa: E402
+from bench_serving import (  # noqa: E402
+    bench_serving,
+    bench_serving_chaos,
+    bench_serving_http,
+)
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.embedding.sentence import SentenceEmbedder  # noqa: E402
 from repro.session import open_session  # noqa: E402
@@ -212,6 +216,9 @@ def collect(repeats: int, grid_queries: int) -> dict:
     # throughput keeps observability honest about its hot-path cost)
     serving["chaos"] = bench_serving_chaos()
     serving["obs"] = bench_obs()
+    # the sockets path: same gateway behind the HTTP front door, so the
+    # delta against batched_req_per_s is the wire + JSON overhead
+    serving["http"] = bench_serving_http()
     return {
         "schema_version": 2,
         "machine": {
@@ -272,7 +279,12 @@ def main(argv: list[str] | None = None) -> int:
               f"({chaos['worker_restarts']} restarts, "
               f"{chaos['slice_retries']} retries, "
               f"{chaos['inline_fallbacks']} inline) at "
-              f"{chaos['req_per_s']:.0f} req/s")
+              f"{chaos['goodput_rps']:.0f} req/s goodput")
+    http = serving.get("http")
+    if http:
+        print(f"http   : {http['req_per_s']:.0f} req/s over sockets "
+              f"(p95 {http['p95_ms']:.1f} ms, mean batch "
+              f"{http['mean_batch_size']:.1f})")
     obs = serving.get("obs")
     if obs:
         print(f"obs    : {obs['req_per_s_sample_1']:.0f} req/s fully traced "

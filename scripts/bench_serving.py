@@ -24,8 +24,11 @@ Run:  PYTHONPATH=src python scripts/bench_serving.py [--concurrency 32]
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
+import threading
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -33,8 +36,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.embedding.cache import CachedEmbedder  # noqa: E402
 from repro.obs.sinks import read_jsonl_spans  # noqa: E402
-from repro.serving import FaultPlan, LoadReport, run_load  # noqa: E402
-from repro.specs import ObsSpec, ServingSpec  # noqa: E402
+from repro.serving import (  # noqa: E402
+    FaultPlan,
+    Gateway,
+    HTTPConnection,
+    LoadReport,
+    SessionManager,
+    make_workload,
+    percentile,
+    run_load,
+    serve_gateway,
+)
+from repro.specs import HttpSpec, ObsSpec, ServingSpec  # noqa: E402
 from repro.suites import load_suite  # noqa: E402
 
 #: Required batched/sequential throughput ratio (the PR's acceptance bar).
@@ -178,9 +191,116 @@ def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
         "inline_fallbacks": metrics["inline_fallbacks"],
         "requests_failed": report.n_errors,
         "success_rate": report.success_rate,
+        # req_per_s is *offered* load (every request, failed included);
+        # goodput_rps only counts successfully served requests and is
+        # the honest capacity number for a run that injects failures
         "req_per_s": report.throughput_rps,
+        "goodput_rps": report.goodput_rps,
         "p95_ms": report.latency_p95_ms,
         "trace_out": trace_out,
+    }
+
+
+def bench_serving_http(n_requests: int = 256, concurrency: int = 8,
+                       max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                       suite_name: str = "edgehome") -> dict:
+    """Closed-loop load over the **sockets** path: HTTP front door end
+    to end.
+
+    Boots the gateway behind :class:`AsgiServer` on an ephemeral port
+    (own event loop in a background thread), then drives ``POST
+    /v1/call`` from ``concurrency`` blocking client threads, each on its
+    own keep-alive connection — the stdlib-only stand-in for
+    ``wrk``-style load.  An untimed warmup cycle precedes the
+    measurement, matching the in-process serving bench.  ``p95_ms`` is
+    reported for trend-watching but not guarded (latency jitter);
+    ``req_per_s`` is tracked by ``make bench-check``.
+    """
+    suites = {suite_name: load_suite(suite_name)}
+    sessions = SessionManager(embedder=CachedEmbedder())
+    for tenant, suite in suites.items():
+        sessions.register(tenant, suite)
+    spec = ServingSpec(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
+    gateway = Gateway(sessions, config=spec.to_config())
+
+    bound = threading.Event()
+    server_info: dict = {}
+
+    async def serve() -> None:
+        shutdown = asyncio.Event()
+        server_info["loop"] = asyncio.get_running_loop()
+        server_info["shutdown"] = shutdown
+
+        def ready(server):
+            server_info["port"] = server.port
+            bound.set()
+
+        await serve_gateway(gateway, http=HttpSpec(port=0), ready=ready,
+                            shutdown=shutdown)
+
+    server_thread = threading.Thread(target=lambda: asyncio.run(serve()),
+                                     name="bench-http-server", daemon=True)
+    server_thread.start()
+    if not bound.wait(timeout=30.0):
+        raise RuntimeError("HTTP bench server failed to bind within 30s")
+    port = server_info["port"]
+
+    def drive(workload, n_clients: int) -> list[float]:
+        """Closed-loop: each client thread pulls the next request as
+        soon as its previous one completes (shared cursor)."""
+        latencies: list[float] = []
+        lock = threading.Lock()
+        cursor = iter(workload)
+
+        def client() -> None:
+            with HTTPConnection("127.0.0.1", port) as conn:
+                while True:
+                    with lock:
+                        load = next(cursor, None)
+                    if load is None:
+                        return
+                    started = time.perf_counter()
+                    response = conn.post("/v1/call", {
+                        "tenant": load.tenant, "qid": load.query.qid})
+                    elapsed = time.perf_counter() - started
+                    if response.status != 200:
+                        raise RuntimeError(
+                            f"HTTP bench request failed with "
+                            f"{response.status}: {response.text}")
+                    with lock:
+                        latencies.append(elapsed)
+
+        threads = [threading.Thread(target=client, name=f"bench-http-{i}")
+                   for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return latencies
+
+    try:
+        cycle = sum(len(suite.queries) for suite in suites.values())
+        drive(make_workload(suites, cycle), min(4, concurrency))  # warmup
+        workload = make_workload(suites, n_requests)
+        started = time.perf_counter()
+        latencies = drive(workload, concurrency)
+        wall_s = time.perf_counter() - started
+    finally:
+        server_info["loop"].call_soon_threadsafe(server_info["shutdown"].set)
+        server_thread.join(timeout=30.0)
+
+    metrics = gateway.metrics()
+    return {
+        "suite": suite_name,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "req_per_s": len(latencies) / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": percentile(latencies, 50.0) * 1e3,
+        "p95_ms": percentile(latencies, 95.0) * 1e3,
+        "p99_ms": percentile(latencies, 99.0) * 1e3,
+        "mean_batch_size": metrics["mean_batch_size"],
     }
 
 
@@ -200,6 +320,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="run the fault-injection scenario instead of "
                              "the throughput comparison")
+    parser.add_argument("--http", action="store_true",
+                        help="drive the HTTP front door over real sockets "
+                             "instead of the in-process gateway")
     parser.add_argument("--seed", type=int, default=0,
                         help="FaultPlan seed for --chaos")
     parser.add_argument("--trace-out", default="/tmp/serving_chaos_trace.jsonl",
@@ -208,6 +331,23 @@ def main(argv: list[str] | None = None) -> int:
                              "asserts injected faults appear as span "
                              "events); pass an empty string to disable")
     args = parser.parse_args(argv)
+
+    if args.http:
+        row = bench_serving_http(
+            n_requests=min(args.n_requests, 256),
+            concurrency=min(args.concurrency, 8),
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms, suite_name=args.suite)
+        print(f"serving http ({row['suite']}, {row['n_requests']} requests, "
+              f"concurrency {row['concurrency']}):")
+        print(f"  sockets      : {row['req_per_s']:8.0f} req/s   "
+              f"p50 {row['p50_ms']:6.1f} ms  p95 {row['p95_ms']:6.1f} ms  "
+              f"p99 {row['p99_ms']:6.1f} ms  (mean batch "
+              f"{row['mean_batch_size']:.1f})")
+        if args.output:
+            Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        return 0
 
     if args.chaos:
         row = bench_serving_chaos(concurrency=min(args.concurrency, 8),
@@ -218,8 +358,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  faults {row['faults_injected']} | restarts "
               f"{row['worker_restarts']} | slice retries {row['slice_retries']} "
               f"| inline fallbacks {row['inline_fallbacks']}")
-        print(f"  served {row['success_rate']:.0%} at {row['req_per_s']:.0f} "
-              f"req/s (p95 {row['p95_ms']:.1f} ms)")
+        print(f"  served {row['success_rate']:.0%}: goodput "
+              f"{row['goodput_rps']:.0f} req/s of {row['req_per_s']:.0f} "
+              f"offered (p95 {row['p95_ms']:.1f} ms)")
         if row["trace_out"]:
             print(f"  trace artifact verified: fault span events match "
                   f"injected hooks -> {row['trace_out']}")

@@ -49,6 +49,10 @@ TRACKED_METRICS = [
     # stay within tolerance of the committed traced throughput — a
     # change that fattens the tracing hot path fails here
     ("serving.obs", "req_per_s_sample_1", True),
+    # the HTTP front door over real sockets; p95_ms rides along in
+    # BENCH_perf.json unguarded, same latency-jitter rationale as
+    # serving.batched_p95_ms
+    ("serving.http", "req_per_s", True),
 ]
 
 

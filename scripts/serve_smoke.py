@@ -1,0 +1,98 @@
+"""Boot ``repro serve`` for real and smoke the HTTP front door.
+
+The one thing the in-process tier-1 tests cannot cover: the actual
+``python -m repro serve`` process — argument parsing, gateway boot, the
+asyncio sockets server, signal handling.  This script launches it on an
+ephemeral port, drives ``/healthz``, ``POST /v1/call`` and ``/metrics``
+over a real connection, then SIGINTs the server and asserts a clean
+exit.  stdlib only (subprocess + http.client), like everything else on
+the serving edge.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving.http import HTTPConnection  # noqa: E402
+from repro.suites import load_suite  # noqa: E402
+
+BANNER = re.compile(r"serving tenants \[(?P<tenants>[^\]]*)\] at "
+                    r"http://(?P<host>[\d.]+):(?P<port>\d+)")
+SUITE, N_QUERIES = "edgehome", 6
+BOOT_TIMEOUT_S = 60.0
+
+
+def wait_for_banner(process: subprocess.Popen) -> tuple[str, int]:
+    """Read server stdout until the ready banner names the bound port."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before binding (rc={process.poll()})")
+        print(f"  server: {line.rstrip()}")
+        match = BANNER.search(line)
+        if match:
+            assert match.group("tenants") == SUITE
+            return match.group("host"), int(match.group("port"))
+    raise SystemExit(f"no ready banner within {BOOT_TIMEOUT_S:.0f}s")
+
+
+def main() -> int:
+    qid = load_suite(SUITE, n_queries=N_QUERIES).queries[0].qid
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--tenants", SUITE,
+         "-n", str(N_QUERIES), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=REPO_ROOT, env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        host, port = wait_for_banner(process)
+        with HTTPConnection(host, port) as conn:
+            health = conn.get("/healthz")
+            assert health.status == 200, health.text
+            assert health.json()["status"] == "ok"
+            print(f"  /healthz ok (tenants {health.json()['tenants']})")
+
+            call = conn.post("/v1/call", {"tenant": SUITE, "qid": qid})
+            assert call.status == 200, call.text
+            payload = call.json()
+            assert payload["episode"]["qid"] == qid
+            assert call.trace_id == payload["trace_id"] != ""
+            print(f"  /v1/call ok (trace {payload['trace_id']}, "
+                  f"{payload['latency_s'] * 1e3:.1f} ms)")
+
+            metrics = conn.get("/metrics")
+            assert metrics.status == 200
+            assert "version=0.0.4" in metrics.headers["content-type"]
+            assert "repro_requests_completed_total 1" in metrics.text
+            print(f"  /metrics ok ({len(metrics.text.splitlines())} lines)")
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+
+    process.send_signal(signal.SIGINT)
+    remainder = process.communicate(timeout=30.0)[0]
+    for line in remainder.splitlines():
+        print(f"  server: {line}")
+    assert process.returncode == 0, \
+        f"server exited {process.returncode} on SIGINT"
+    assert "shutdown complete" in remainder
+    print("OK: served, scraped, and shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

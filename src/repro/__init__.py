@@ -32,6 +32,7 @@ _LAZY_EXPORTS = {
     "CatalogSpec": ("repro.specs", "CatalogSpec"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
     "GridSpec": ("repro.specs", "GridSpec"),
+    "HttpSpec": ("repro.specs", "HttpSpec"),
     "ObsSpec": ("repro.specs", "ObsSpec"),
     "ServingSpec": ("repro.specs", "ServingSpec"),
     "SuiteSpec": ("repro.specs", "SuiteSpec"),
@@ -46,6 +47,9 @@ _LAZY_EXPORTS = {
     "register_grid_backend": ("repro.registry", "register_grid_backend"),
     "register_serving_backend": ("repro.registry", "register_serving_backend"),
     "register_catalog": ("repro.registry", "register_catalog"),
+    # the HTTP front door
+    "create_app": ("repro.serving.http", "create_app"),
+    "serve_gateway": ("repro.serving.http", "serve_gateway"),
     # loaders
     "load_suite": ("repro.api", "load_suite"),
     "load_model": ("repro.api", "load_model"),

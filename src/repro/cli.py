@@ -10,6 +10,7 @@ Commands
 ``profile``    cost one hypothetical function-calling turn on the Orin
 ``metrics``    serve a short load, print Prometheus text exposition
 ``chaos``      serve a workload under seeded fault injection
+``serve``      boot the HTTP front door over registered tenant suites
 
 Every evaluation command builds a typed spec (:mod:`repro.specs`) and
 drives it through one :func:`repro.open_session` session, so the CLI,
@@ -31,6 +32,7 @@ Examples::
     python -m repro profile --tools 46 --window 16384 --quant q4_K_M
     python -m repro metrics --suite edgehome --requests 16
     python -m repro chaos --process --trace-out /tmp/chaos_trace.jsonl
+    python -m repro serve --tenants edgehome,bfcl --port 8080
 """
 
 from __future__ import annotations
@@ -296,6 +298,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP front door (``repro.serving.http``) and serve.
+
+    Tenants come from ``--tenants`` (each named suite becomes a tenant
+    of the same name) or from a full :class:`~repro.specs.ServingSpec`
+    JSON file via ``--spec``.  The builtin asyncio server needs nothing
+    beyond the stdlib; ``--uvicorn`` mounts the same ASGI app in uvicorn
+    when that optional extra is installed.  Stop with Ctrl-C — the
+    gateway drains and shuts down cleanly.
+    """
+    import asyncio
+    import json
+
+    from repro.serving.http import create_app, run_uvicorn, serve_gateway
+    from repro.specs import HttpSpec, ServingSpec, TenantSpec
+
+    if args.spec:
+        with open(args.spec) as handle:
+            serving = ServingSpec.from_dict(json.load(handle))
+    else:
+        serving = ServingSpec(
+            tenants=tuple(
+                TenantSpec(name=name,
+                           suite=SuiteSpec(name, n_queries=args.queries))
+                for name in args.tenants.split(",")),
+            max_batch_size=args.batch_size,
+            plan_cache_size=args.plan_cache,
+            timeout_ms=args.timeout_ms,
+        )
+    http = serving.http if serving.http is not None else HttpSpec()
+    if args.host is not None:
+        http = http.replace(host=args.host)
+    if args.port is not None:
+        http = http.replace(port=args.port)
+    serving = serving.replace(http=http)
+    gateway = open_session(serving).serve()
+    if args.uvicorn:
+        run_uvicorn(create_app(gateway), http)
+        return 0
+
+    async def serve() -> None:
+        def ready(server) -> None:
+            tenants = ", ".join(sorted(gateway.sessions.tenant_names))
+            print(f"serving tenants [{tenants}] at {server.address} "
+                  f"(Ctrl-C to stop)", flush=True)
+
+        await serve_gateway(gateway, http=http, ready=ready)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutdown complete")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Less-is-More reproduction CLI")
@@ -407,6 +464,30 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write a JSONL trace artifact and verify "
                                    "injected faults appear as span events")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    serve_parser = sub.add_parser(
+        "serve", help="boot the HTTP front door over tenant suites")
+    serve_parser.add_argument("--tenants", default="edgehome",
+                              help="comma-separated suite names; each "
+                                   "becomes a tenant of the same name")
+    serve_parser.add_argument("--spec", default=None, metavar="PATH",
+                              help="ServingSpec JSON file (overrides "
+                                   "--tenants and the batching flags)")
+    serve_parser.add_argument("-n", "--queries", type=int, default=None,
+                              help="queries per tenant suite")
+    serve_parser.add_argument("--host", default=None,
+                              help="bind host (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=None,
+                              help="bind port (default 8080; 0 = ephemeral)")
+    serve_parser.add_argument("--batch-size", type=int, default=32)
+    serve_parser.add_argument("--plan-cache", type=int, default=0,
+                              help="plan-result memoization entries")
+    serve_parser.add_argument("--timeout-ms", type=float, default=None,
+                              help="end-to-end per-request deadline")
+    serve_parser.add_argument("--uvicorn", action="store_true",
+                              help="serve through uvicorn (optional extra) "
+                                   "instead of the builtin asyncio server")
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 

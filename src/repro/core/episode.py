@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -15,6 +16,13 @@ class StepRecord:
     execution_ok: bool
     n_tools_presented: int
     retried: bool = False
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -59,3 +67,30 @@ class EpisodeResult:
         if not self.steps:
             return 0.0
         return sum(step.n_tools_presented for step in self.steps) / len(self.steps)
+
+    def to_dict(self) -> dict:
+        """JSON-able form that round-trips **bitwise** through
+        :meth:`from_dict`.
+
+        Floats serialize via Python's shortest-repr JSON encoding, which
+        decodes to the identical IEEE-754 value — so an episode sent over
+        the HTTP edge compares equal to the in-process original (asserted
+        by ``tests/test_serving_equivalence.py``).  The derived
+        ``success`` / ``tool_accuracy`` metrics ride along for clients
+        but are dropped on decode (they are properties, not state).
+        """
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+        data["steps"] = [step.to_dict() for step in self.steps]
+        data["success"] = self.success
+        data["tool_accuracy"] = self.tool_accuracy
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpisodeResult":
+        data = dict(data)
+        data.pop("success", None)
+        data.pop("tool_accuracy", None)
+        data["steps"] = [StepRecord.from_dict(step)
+                         for step in data.get("steps", [])]
+        return cls(**data)

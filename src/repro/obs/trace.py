@@ -55,6 +55,19 @@ def hex_id(*parts: str | int | float) -> str:
     return f"{stable_hash64(*parts):016x}"
 
 
+def request_trace_id(tenant: str, qid: str, repeat: int) -> str:
+    """The deterministic trace id of one served request.
+
+    A pure function of ``(tenant, qid, repeat)`` — the n-th request for
+    the same tenant/qid pair gets the same id on every run, independent
+    of global interleaving.  The gateway assigns ids through this even
+    when tracing is disabled, so every HTTP response (and error) can
+    carry an ``X-Trace-Id`` the operator can later enable tracing
+    against and re-find.
+    """
+    return f"{stable_hash64('trace', tenant, qid, repeat):016x}"
+
+
 @dataclass(frozen=True)
 class TraceContext:
     """The propagation handle: all a downstream stage needs to attach
@@ -189,14 +202,25 @@ class Tracer:
         with self._lock:
             repeat = self._repeats.get(key, 0)
             self._repeats[key] = repeat + 1
-        digest = stable_hash64("trace", tenant, qid, repeat)
+        return self.sampled(request_trace_id(tenant, qid, repeat))
+
+    def sampled(self, trace_id: str) -> TraceContext | None:
+        """The :class:`TraceContext` for a pre-assigned trace id, or
+        ``None`` when sampling skips it.
+
+        The id's own high bits decide — deterministic and unbiased, so a
+        sample rate keeps a reproducible subset.  Callers that count
+        repeats themselves (the gateway stamps ids on every response,
+        traced or not) pair :func:`request_trace_id` with this instead
+        of :meth:`begin`.
+        """
         if self.sample_rate <= 0.0:
             return None
         if self.sample_rate < 1.0:
-            # the id's own high bits decide: deterministic, unbiased
+            digest = int(trace_id, 16)
             if (digest >> 11) / float(1 << 53) >= self.sample_rate:
                 return None
-        return TraceContext(trace_id=f"{digest:016x}")
+        return TraceContext(trace_id=trace_id)
 
     def start_span(self, ctx: TraceContext, name: str,
                    parent_id: str | None = None,

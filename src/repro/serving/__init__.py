@@ -50,6 +50,14 @@ from repro.serving.loadgen import (
     run_closed_loop,
     run_load,
 )
+from repro.serving.http import (
+    ASGITestClient,
+    AsgiServer,
+    GatewayHTTPApp,
+    HTTPConnection,
+    create_app,
+    serve_gateway,
+)
 from repro.serving.process import (
     ProcessEpisodeExecutor,
     SupervisedEpisodeExecutor,
@@ -58,6 +66,8 @@ from repro.serving.session import SessionManager, TenantSession, UnknownTenantEr
 from repro.serving.telemetry import Telemetry, percentile
 
 __all__ = [
+    "ASGITestClient",
+    "AsgiServer",
     "BatchScheduler",
     "DeadlineExceededError",
     "DegradationController",
@@ -65,6 +75,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "Gateway",
+    "GatewayHTTPApp",
+    "HTTPConnection",
     "InjectedFaultError",
     "LoadReport",
     "LoadSpec",
@@ -81,8 +93,10 @@ __all__ = [
     "TenantSession",
     "UnknownTenantError",
     "WorkItem",
+    "create_app",
     "make_workload",
     "percentile",
     "run_closed_loop",
     "run_load",
+    "serve_gateway",
 ]

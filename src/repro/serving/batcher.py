@@ -156,6 +156,12 @@ class BatchScheduler:
         """Requests currently waiting (excludes the batch being processed)."""
         return self._total_pending
 
+    @property
+    def running(self) -> bool:
+        """True while the scheduler accepts submissions (started, not
+        stopping) — what the HTTP ``/healthz`` endpoint reports."""
+        return self._task is not None and not self._stopping
+
     # ------------------------------------------------------------------
     # submission (event loop thread)
     # ------------------------------------------------------------------

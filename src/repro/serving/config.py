@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.registry import SERVING_BACKENDS, register_serving_backend
-from repro.specs import ObsSpec
+from repro.specs import HttpSpec, ObsSpec
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,13 @@ class ServingConfig:
         threshold.  ``None`` (the default) disables tracing entirely —
         the serving hot path then carries a single ``is None`` check.
         Tracing never changes served results; spans only observe.
+    http:
+        Bind address for the HTTP front door
+        (:class:`~repro.specs.HttpSpec`: host, port, listen backlog),
+        used by ``repro serve`` and
+        :func:`repro.serving.http.serve_gateway`.  ``None`` (the
+        default) means the gateway is in-process only — the ASGI app
+        itself works regardless (tests call it directly).
     """
 
     max_batch_size: int = 32
@@ -103,6 +110,7 @@ class ServingConfig:
     retry_backoff_ms: float = 50.0
     slice_timeout_s: float | None = 30.0
     obs: ObsSpec | None = None
+    http: HttpSpec | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -145,6 +153,12 @@ class ServingConfig:
             raise ValueError(
                 f"obs must be an ObsSpec (or None), "
                 f"got {type(self.obs).__name__}")
+        if isinstance(self.http, dict):
+            object.__setattr__(self, "http", HttpSpec.from_dict(self.http))
+        if self.http is not None and not isinstance(self.http, HttpSpec):
+            raise ValueError(
+                f"http must be an HttpSpec (or None), "
+                f"got {type(self.http).__name__}")
 
     @property
     def max_wait_s(self) -> float:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.episode import EpisodeResult
 from repro.obs.cost import CostLedger, CostRecord, plan_tool_tokens
-from repro.obs.trace import TraceContext, build_tracer
+from repro.obs.trace import TraceContext, build_tracer, request_trace_id
 from repro.registry import SERVING_BACKENDS
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
@@ -48,6 +48,15 @@ class TenantShedError(RuntimeError):
     possible failure) until pressure clears and the controller steps the
     tenant back up.
     """
+
+
+def _stamp_trace(exc: BaseException, trace_id: str) -> None:
+    """Attach the request's trace id to an outgoing exception (best
+    effort — exceptions with ``__slots__`` simply go unstamped)."""
+    try:
+        exc.trace_id = trace_id
+    except AttributeError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -131,6 +140,9 @@ class ServingResponse:
     queued_s: float
     #: total client-observed seconds, stamped by :meth:`Gateway.submit`
     latency_s: float = 0.0
+    #: deterministic request id (:func:`repro.obs.trace.request_trace_id`),
+    #: assigned whether or not tracing is enabled
+    trace_id: str = ""
 
 
 class Gateway:
@@ -178,6 +190,9 @@ class Gateway:
         # atomic under the GIL and submit() runs on the event loop only
         self._shed_tenants: frozenset[str] = frozenset()
         self._scheme_overrides: dict[str, str] = {}
+        # per-(tenant, qid) repeat counter backing the deterministic
+        # trace ids; no lock — submit() runs on the event loop only
+        self._request_repeats: dict[tuple[str, str], int] = {}
         self._degradation_policy = degradation
         self.degradation = None  # controller, built in start() when enabled
         self._degradation_task: asyncio.Task | None = None
@@ -265,13 +280,20 @@ class Gateway:
                 f"tenant {tenant!r} is shed under overload; retry later")
         session = self.sessions.get(tenant)
         resolved = session.resolve_query(query)
+        # every request gets a deterministic trace id — a pure function
+        # of (tenant, qid, repeat) — whether or not tracing is enabled;
+        # responses carry it and the HTTP edge surfaces it as X-Trace-Id
+        repeat_key = (tenant, resolved.qid)
+        repeat = self._request_repeats.get(repeat_key, 0)
+        self._request_repeats[repeat_key] = repeat + 1
+        trace_id = request_trace_id(tenant, resolved.qid, repeat)
         # the root "request" span: admission to reply.  Downstream spans
         # (queue/plan/execute, worker slices) parent to it through the
         # WorkItem's TraceContext; per-sampling ctx may be None, making
         # every downstream tracing touch a single is-None branch.
         ctx = root_span = None
         if self.tracer is not None:
-            ctx = self.tracer.begin(tenant, resolved.qid)
+            ctx = self.tracer.sampled(trace_id)
             if ctx is not None:
                 root_span = self.tracer.start_span(ctx, "request", attributes={
                     "tenant": tenant, "qid": resolved.qid})
@@ -291,7 +313,14 @@ class Gateway:
         timeout_s = (timeout_ms / 1e3 if timeout_ms is not None
                      else self.config.timeout_s)
         started = time.perf_counter()
-        future = self.scheduler.submit(tenant, item)
+        try:
+            future = self.scheduler.submit(tenant, item)
+        except Exception as exc:  # admission rejected (queue full, stopped)
+            _stamp_trace(exc, trace_id)
+            if root_span is not None:
+                root_span.attributes["error"] = type(exc).__name__
+                self.tracer.end_span(root_span, status="error")
+            raise
         try:
             if timeout_s is not None:
                 response: ServingResponse = await asyncio.wait_for(
@@ -305,15 +334,19 @@ class Gateway:
             self.telemetry.record_completion(0.0, ok=False)
             if root_span is not None:
                 self.tracer.end_span(root_span, status="deadline_exceeded")
-            raise DeadlineExceededError(
+            error = DeadlineExceededError(
                 f"request for tenant {tenant!r} missed its "
-                f"{timeout_s * 1e3:g}ms deadline") from None
+                f"{timeout_s * 1e3:g}ms deadline")
+            _stamp_trace(error, trace_id)
+            raise error from None
         except Exception as exc:
             self.telemetry.record_completion(0.0, ok=False)
+            _stamp_trace(exc, trace_id)
             if root_span is not None:
                 root_span.attributes["error"] = type(exc).__name__
                 self.tracer.end_span(root_span, status="error")
             raise
+        response.trace_id = trace_id
         response.latency_s = time.perf_counter() - started
         self.telemetry.record_completion(response.latency_s, ok=True)
         if root_span is not None:
@@ -326,6 +359,37 @@ class Gateway:
     def metrics(self) -> dict:
         """Current telemetry snapshot (queue, batches, latency percentiles)."""
         return self.telemetry.snapshot()
+
+    def health(self) -> dict:
+        """Liveness summary for the HTTP ``/healthz`` endpoint.
+
+        ``scheduler_running`` covers the event-loop side; with the
+        process execution backend, ``workers_running``/``worker_pids``
+        cover the pool (a supervised stage mid-respawn reports
+        ``workers_running=False`` without failing the whole check —
+        episodes fall back inline meanwhile).
+        """
+        health = {
+            "scheduler_running": self.scheduler.running,
+            "pending": self.scheduler.pending,
+            "tenants": sorted(self.sessions.tenant_names),
+            "execution_backend": self.config.execution_backend,
+        }
+        stage = self._process_stage
+        if stage is not None:
+            health["workers_running"] = bool(getattr(stage, "running", True))
+            worker_pids = getattr(stage, "worker_pids", None)
+            if worker_pids is not None:
+                health["worker_pids"] = list(worker_pids())
+        return health
+
+    def is_shed(self, tenant: str) -> bool:
+        """Whether :meth:`submit` currently rejects this tenant."""
+        return tenant in self._shed_tenants
+
+    def scheme_override(self, tenant: str) -> str | None:
+        """The scheme the tenant's default traffic is degraded to, if any."""
+        return self._scheme_overrides.get(tenant)
 
     def metrics_text(self) -> str:
         """Telemetry + cost ledger in Prometheus text exposition format.

@@ -1,0 +1,46 @@
+"""The gateway's HTTP front door: plain-ASGI app, clients, server.
+
+See :mod:`repro.serving.http.app` for the endpoint and error-mapping
+tables.  Typical wiring::
+
+    from repro import ServingSpec, TenantSpec, open_session
+    from repro.serving.http import create_app, ASGITestClient
+
+    gateway = open_session(suite="edgehome").serve(ServingSpec(...))
+    app = create_app(gateway)
+    async with app:                       # starts/stops the gateway
+        client = ASGITestClient(app)
+        response = await client.post("/v1/call", json_body={...})
+"""
+
+from repro.serving.http.app import (
+    ERROR_STATUS,
+    GatewayHTTPApp,
+    create_app,
+    map_error,
+)
+from repro.serving.http.client import (
+    ASGITestClient,
+    HTTPConnection,
+    Response,
+    lifespan_shutdown,
+    lifespan_startup,
+)
+from repro.serving.http.server import AsgiServer, run_uvicorn, serve_gateway
+from repro.serving.http.wire import BadRequestError
+
+__all__ = [
+    "ASGITestClient",
+    "AsgiServer",
+    "BadRequestError",
+    "ERROR_STATUS",
+    "GatewayHTTPApp",
+    "HTTPConnection",
+    "Response",
+    "create_app",
+    "lifespan_shutdown",
+    "lifespan_startup",
+    "map_error",
+    "run_uvicorn",
+    "serve_gateway",
+]

@@ -1,0 +1,57 @@
+"""A tiny method+path router for the plain-ASGI app.
+
+Routes are registered as ``(method, pattern)`` pairs where a pattern
+segment of the form ``{name}`` captures that path segment into the
+handler's ``params`` dict.  Matching is exact-segment, no regexes:
+the API surface is small enough that anything fancier would be
+machinery for its own sake.
+"""
+
+from __future__ import annotations
+
+
+class Route:
+    __slots__ = ("method", "segments", "handler")
+
+    def __init__(self, method: str, pattern: str, handler) -> None:
+        self.method = method.upper()
+        self.segments = tuple(pattern.strip("/").split("/")) if pattern.strip("/") else ()
+        self.handler = handler
+
+    def match(self, segments: tuple[str, ...]) -> dict[str, str] | None:
+        if len(segments) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(self.segments, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Match (method, path) to a handler; distinguish 404 from 405."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        self._routes.append(Route(method, pattern, handler))
+
+    def resolve(self, method: str, path: str):
+        """Return ``(handler, params, allowed)``.
+
+        ``handler`` is None when nothing matched; ``allowed`` carries the
+        methods valid for this path so the caller can pick 404 vs 405.
+        """
+        segments = tuple(path.strip("/").split("/")) if path.strip("/") else ()
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(segments)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route.handler, params, allowed
+            allowed.append(route.method)
+        return None, {}, sorted(set(allowed))

@@ -38,8 +38,12 @@ class LoadReport:
     concurrency: int
     wall_s: float
     latencies_s: list[float] = field(repr=False, default_factory=list)
-    #: qid -> episode, for equivalence checks against the offline runner
-    episodes: dict[str, EpisodeResult] = field(repr=False, default_factory=dict)
+    #: ``(tenant, qid, repeat) -> episode``, for equivalence checks
+    #: against the offline runner.  ``repeat`` counts completions of the
+    #: same (tenant, qid) pair, so a workload that cycles its query pool
+    #: keeps *every* served episode — repeats never overwrite each other.
+    episodes: dict[tuple[str, str, int], EpisodeResult] = field(
+        repr=False, default_factory=dict)
     gateway_metrics: dict = field(default_factory=dict)
     #: per-tenant token accounting (:meth:`Gateway.costs` at run end)
     cost: dict = field(default_factory=dict)
@@ -48,7 +52,21 @@ class LoadReport:
 
     @property
     def throughput_rps(self) -> float:
+        """**Offered** load per wall-second — counts every request, failed
+        ones included.  Use :attr:`goodput_rps` for served capacity."""
         return self.n_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """Successfully served requests per wall-second.
+
+        The honest capacity number for chaos runs: a run that failed 90%
+        of its traffic reports ~10% of its offered :attr:`throughput_rps`
+        here, not full throughput.
+        """
+        if self.wall_s <= 0:
+            return 0.0
+        return (self.n_requests - self.n_errors) / self.wall_s
 
     @property
     def success_rate(self) -> float:
@@ -84,7 +102,8 @@ async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     pending = iter(workload)
     latencies: list[float] = []
-    episodes: dict[str, EpisodeResult] = {}
+    episodes: dict[tuple[str, str, int], EpisodeResult] = {}
+    repeats: dict[tuple[str, str], int] = {}
     errors = [0]
 
     async def client() -> None:
@@ -97,7 +116,14 @@ async def run_closed_loop(gateway: Gateway, workload: list[LoadSpec],
                 errors[0] += 1
                 continue
             latencies.append(response.latency_s)
-            episodes[response.episode.qid] = response.episode
+            # key by (tenant, qid, repeat): a cycled workload completes
+            # the same query many times and every episode must be kept
+            # (repeat counts completions, so under concurrency it orders
+            # by completion — uniqueness is what equivalence needs)
+            key = (spec.tenant, response.episode.qid)
+            repeat = repeats.get(key, 0)
+            repeats[key] = repeat + 1
+            episodes[key + (repeat,)] = response.episode
 
     started = time.perf_counter()
     await asyncio.gather(*(client() for _ in range(min(concurrency, len(workload)))))
@@ -118,6 +144,11 @@ def make_workload(suites: dict[str, BenchmarkSuite], n_requests: int) -> list[Lo
     """Interleave the tenants' eval queries into an ``n_requests`` stream."""
     if not suites:
         raise ValueError("at least one tenant suite is required")
+    for tenant, suite in suites.items():
+        if not suite.queries:
+            raise ValueError(
+                f"tenant {tenant!r} has an empty query list; every tenant "
+                f"suite must contribute at least one query to the workload")
     streams = {tenant: suite.queries for tenant, suite in suites.items()}
     workload: list[LoadSpec] = []
     position = 0

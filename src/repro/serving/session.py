@@ -45,7 +45,12 @@ class TenantSession:
         self.runner = ExperimentRunner(suite, embedder=embedder)
         self._agents: dict[tuple[str, str, str], object] = {}
         self._lock = threading.Lock()
+        self._index_queries(suite)
+
+    def _index_queries(self, suite: BenchmarkSuite) -> None:
+        """(Re)build the qid and exact-text lookup maps for ``suite``."""
         self._queries_by_qid = {query.qid: query for query in suite.queries}
+        self._queries_by_text = {query.text: query for query in suite.queries}
 
     @property
     def catalog_version(self) -> str:
@@ -102,6 +107,7 @@ class TenantSession:
             self.suite = new_suite
             self.runner = new_runner
             self._agents = new_agents
+            self._index_queries(new_suite)
         return new_suite.catalog.version
 
     def resolve_query(self, query: Query | str) -> Query:
@@ -113,6 +119,20 @@ class TenantSession:
         except KeyError:
             raise KeyError(
                 f"tenant {self.name!r} has no query with qid {query!r}") from None
+
+    def resolve_text(self, text: str) -> Query:
+        """Find the suite query whose text matches ``text`` exactly.
+
+        Episodes are only defined for queries with gold calls, so the
+        HTTP edge serves suite queries by qid *or* by their exact text —
+        free-form text has no ground truth to score against.
+        """
+        try:
+            return self._queries_by_text[text]
+        except KeyError:
+            raise KeyError(
+                f"tenant {self.name!r} has no query with text {text!r}; "
+                f"address suite queries by qid or their exact text") from None
 
     def warm(self, scheme: str, model: str, quant: str) -> None:
         """Build levels, the agent and the tool-corpus embeddings up front.
@@ -146,6 +166,18 @@ class SessionManager:
             session = TenantSession(name, suite, self.embedder)
             self._tenants[name] = session
             return session
+
+    def deregister(self, name: str) -> None:
+        """Remove a tenant; unknown names raise :class:`UnknownTenantError`.
+
+        In-flight requests that already resolved their session finish
+        normally; later submissions fail with the unknown-tenant error.
+        """
+        with self._lock:
+            if name not in self._tenants:
+                raise UnknownTenantError(
+                    f"unknown tenant {name!r}; registered: {sorted(self._tenants)}")
+            del self._tenants[name]
 
     def get(self, name: str) -> TenantSession:
         with self._lock:

@@ -324,6 +324,29 @@ class ObsSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class HttpSpec(_SpecBase):
+    """Where the HTTP front door listens.
+
+    ``port=0`` asks the OS for an ephemeral port (tests and benches bind
+    this way and read the bound port back from the server).  ``backlog``
+    is the listen-socket accept queue — connections beyond it are
+    refused by the kernel before they ever reach the gateway's own
+    admission control.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    backlog: int = 128
+
+    def __post_init__(self):
+        _require(bool(self.host), "HttpSpec.host must be a non-empty string")
+        _require(0 <= self.port <= 65535,
+                 f"HttpSpec.port must be in [0, 65535], got {self.port}")
+        _require(self.backlog >= 1,
+                 f"HttpSpec.backlog must be >= 1, got {self.backlog}")
+
+
+@dataclass(frozen=True)
 class ServingSpec(_SpecBase):
     """Declarative gateway configuration: tenants + batching + execution.
 
@@ -353,6 +376,7 @@ class ServingSpec(_SpecBase):
     retry_backoff_ms: float = 50.0
     slice_timeout_s: float | None = 30.0
     obs: ObsSpec | None = None
+    http: HttpSpec | None = None
 
     def __post_init__(self):
         tenants = tuple(
@@ -408,6 +432,11 @@ class ServingSpec(_SpecBase):
         _require(self.obs is None or isinstance(self.obs, ObsSpec),
                  f"ServingSpec.obs must be an ObsSpec, "
                  f"got {type(self.obs).__name__}")
+        if isinstance(self.http, dict):
+            object.__setattr__(self, "http", HttpSpec.from_dict(self.http))
+        _require(self.http is None or isinstance(self.http, HttpSpec),
+                 f"ServingSpec.http must be an HttpSpec, "
+                 f"got {type(self.http).__name__}")
 
     def to_config(self):
         """The runtime :class:`ServingConfig` equivalent of this spec."""
@@ -429,6 +458,7 @@ class ServingSpec(_SpecBase):
             retry_backoff_ms=self.retry_backoff_ms,
             slice_timeout_s=self.slice_timeout_s,
             obs=self.obs,
+            http=self.http,
         )
 
     @classmethod
@@ -482,6 +512,7 @@ __all__ = [
     "CatalogSpec",
     "ExperimentSpec",
     "GridSpec",
+    "HttpSpec",
     "ObsSpec",
     "ServingSpec",
     "SuiteSpec",

@@ -37,7 +37,8 @@ def _report(**overrides) -> dict:
         "serving": {"batched_req_per_s": 2_000.0,
                     "speedup_vs_sequential": 2.2,
                     "chaos": {"success_rate": 1.0},
-                    "obs": {"req_per_s_sample_1": 1_800.0}},
+                    "obs": {"req_per_s_sample_1": 1_800.0},
+                    "http": {"req_per_s": 800.0}},
     }
     for dotted, value in overrides.items():
         *path, metric = dotted.split(".")
@@ -187,7 +188,11 @@ def test_bench_main_writes_guarded_shape(tmp_path, monkeypatch, capsys):
     monkeypatch.setattr(bench, "bench_serving_chaos", lambda: {
         **stub["serving"]["chaos"],
         "faults_injected": 3, "worker_restarts": 3, "slice_retries": 4,
-        "inline_fallbacks": 0, "req_per_s": 150.0,
+        "inline_fallbacks": 0, "req_per_s": 150.0, "goodput_rps": 150.0,
+    })
+    monkeypatch.setattr(bench, "bench_serving_http", lambda: {
+        **stub["serving"]["http"],
+        "p95_ms": 12.0, "mean_batch_size": 4.5,
     })
     monkeypatch.setattr(bench, "bench_obs", lambda: {
         **stub["serving"]["obs"],

@@ -17,9 +17,11 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.core.episode import EpisodeResult
 from repro.embedding.cache import CachedEmbedder
 from repro.evaluation.runner import ExperimentRunner
 from repro.serving import Gateway, ServingConfig, SessionManager
+from repro.serving.http import ASGITestClient, create_app
 from repro.suites import load_suite
 
 MODEL, QUANT = "hermes2-pro-8b", "q4_K_M"
@@ -91,6 +93,47 @@ def test_served_episodes_equal_sequential_runner(suite):
         # energy and token floats — bitwise, thanks to batch-invariant
         # kernels and per-query RNG streams
         assert response.episode == reference[response.episode.qid]
+
+
+def test_http_call_equals_sequential_runner(suite):
+    """The HTTP front door adds a JSON round-trip on top of the gateway;
+    episodes decoded from ``POST /v1/call`` responses must still equal
+    the sequential runner **bitwise** — Python's shortest-repr float
+    JSON encoding decodes to identical IEEE-754 values, so serialization
+    is not allowed to cost any precision.
+    """
+    reference_runner = ExperimentRunner(suite, embedder=CachedEmbedder())
+    reference = {
+        episode.qid: episode
+        for episode in reference_runner.run("lis-k3", MODEL, QUANT).episodes
+    }
+
+    async def serve_all():
+        sessions = SessionManager(embedder=CachedEmbedder())
+        sessions.register("t", suite)
+        config = ServingConfig(max_batch_size=8, max_wait_ms=5.0,
+                               default_scheme="lis-k3", default_model=MODEL,
+                               default_quant=QUANT)
+        app = create_app(Gateway(sessions, config=config))
+        client = ASGITestClient(app)
+        async with app:
+            return await asyncio.gather(*(
+                client.post("/v1/call", {"tenant": "t", "qid": query.qid})
+                for query in suite.queries
+            ))
+
+    responses = asyncio.run(serve_all())
+    assert len(responses) == len(reference)
+    payloads = [response.json() for response in responses]
+    assert [p for p in payloads if p["batch_size"] > 1], \
+        "no request was actually micro-batched"
+    for response, payload in zip(responses, payloads):
+        assert response.status == 200
+        episode = EpisodeResult.from_dict(payload["episode"])
+        assert episode == reference[episode.qid]
+        # the JSON round-trip also preserves the derived metrics
+        assert payload["episode"]["success"] == episode.success
+        assert response.trace_id == payload["trace_id"] != ""
 
 
 def test_process_execution_stage_equals_sequential_runner(suite):

@@ -54,6 +54,16 @@ def test_make_workload_wraps_around_short_suites(suite):
     assert workload[-1].query == suite.queries[1]
 
 
+def test_make_workload_rejects_empty_tenant_suite(suite):
+    """Regression: an empty query list used to surface as a bare
+    ZeroDivisionError from the cycling arithmetic; the error must name
+    the offending tenant instead."""
+    empty = load_suite("edgehome", n_queries=5)
+    empty.queries = []
+    with pytest.raises(ValueError, match="tenant 'b' has an empty query list"):
+        make_workload({"a": suite, "b": empty}, 4)
+
+
 # ----------------------------------------------------------------------
 # LoadReport arithmetic
 # ----------------------------------------------------------------------
@@ -68,7 +78,22 @@ def test_report_throughput_and_percentiles():
 def test_report_zero_wall_clock_yields_zero_throughput():
     report = LoadReport(n_requests=10, concurrency=1, wall_s=0.0)
     assert report.throughput_rps == 0.0
+    assert report.goodput_rps == 0.0
     assert report.latency_p95_ms == 0.0  # empty latency sample
+
+
+def test_report_goodput_excludes_failed_requests():
+    """Regression: throughput_rps counts failures (it is *offered* load);
+    goodput_rps is the served-capacity number chaos runs must report."""
+    report = LoadReport(n_requests=10, concurrency=2, wall_s=2.0, n_errors=4)
+    assert report.throughput_rps == pytest.approx(5.0)
+    assert report.goodput_rps == pytest.approx(3.0)
+    assert report.success_rate == pytest.approx(0.6)
+
+
+def test_report_goodput_equals_throughput_without_errors():
+    report = LoadReport(n_requests=6, concurrency=1, wall_s=3.0)
+    assert report.goodput_rps == report.throughput_rps
 
 
 # ----------------------------------------------------------------------
@@ -101,8 +126,21 @@ def test_run_closed_loop_serves_whole_workload(suite):
     assert len(report.latencies_s) == 8
     assert all(latency >= 0.0 for latency in report.latencies_s)
     assert report.wall_s > 0.0
-    # the workload revisits qids, so episodes dedupe to the suite's pool
-    assert set(report.episodes) <= {query.qid for query in suite.queries}
+    # every completion is kept, keyed (tenant, qid, repeat) — a workload
+    # that cycles its query pool must not overwrite earlier repeats
+    assert len(report.episodes) == 8
+    qids = {query.qid for query in suite.queries}
+    for tenant, qid, repeat in report.episodes:
+        assert tenant == "t"
+        assert qid in qids
+        assert repeat >= 0
+    # the 8-request workload over 5 queries revisits 3 of them once
+    repeated = [key for key in report.episodes if key[2] == 1]
+    assert len(repeated) == 3
+    for tenant, qid, _ in repeated:
+        first = report.episodes[(tenant, qid, 0)]
+        again = report.episodes[(tenant, qid, 1)]
+        assert first == again  # deterministic serving: repeats are bitwise equal
     assert report.gateway_metrics["requests_completed"] == 8
 
 
@@ -128,5 +166,7 @@ def test_run_load_episodes_match_direct_submission(suite):
     want = asyncio.run(direct())
     report = run_load({"t": suite}, ServingConfig(max_batch_size=4),
                       n_requests=len(suite.queries), concurrency=3)
-    for qid, episode in report.episodes.items():
+    assert len(report.episodes) == len(suite.queries)
+    for (_, qid, repeat), episode in report.episodes.items():
+        assert repeat == 0  # one pass over the pool: no repeats
         assert episode == want[qid]
