@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process test-chaos examples-smoke serve-smoke bench bench-check bench-serving bench-obs bench-paper
+.PHONY: test test-process test-chaos examples-smoke serve-smoke serve-smoke-uvicorn bench bench-check bench-serving bench-obs bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -38,6 +38,10 @@ examples-smoke:
 ## /metrics over real sockets, SIGINT and assert a clean shutdown
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+## same smoke through the optional uvicorn mount (pip install uvicorn)
+serve-smoke-uvicorn:
+	$(PYTHON) scripts/serve_smoke.py --uvicorn
 
 ## regenerate the committed perf baseline at the repo root
 bench:

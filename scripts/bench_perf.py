@@ -109,25 +109,96 @@ def bench_search(repeats: int) -> dict:
     return rows
 
 
-def bench_episodes(repeats: int) -> dict:
-    """End-to-end Less-is-More episode throughput (recommend → plan → run)."""
-    session = open_session("edgehome", n_queries=16, embedder=CachedEmbedder())
+def _episodes_per_s(suite_name: str, repeats: int, engine=None) -> float:
+    """Warmed lis-k3 episode throughput over one 16-query batch.
+
+    Best-of rather than median: episode batches are long enough that
+    background load skews half the samples on a shared machine, and the
+    guarded baseline needs the stable (uncontended) figure.
+    """
+    session = open_session(suite_name, n_queries=16, embedder=CachedEmbedder())
     suite = session.suite
     agent = session.build_agent(AgentSpec(scheme="lis-k3",
                                           model="hermes2-pro-8b",
-                                          quant="q4_K_M"))
+                                          quant="q4_K_M", engine=engine))
     agent.run(suite.queries[0])  # warm caches
 
-    def episode_batch():
+    def episode_batch() -> float:
+        start = time.perf_counter()
         for query in suite.queries:
             agent.run(query)
+        return time.perf_counter() - start
 
-    batch_s = median_time(episode_batch, max(3, repeats // 5))
+    batch_s = min(episode_batch() for _ in range(max(5, repeats // 3)))
+    return len(suite.queries) / batch_s
+
+
+def bench_episodes(repeats: int) -> dict:
+    """End-to-end Less-is-More episode throughput (recommend → plan → run).
+
+    ``browser_episodes_per_s`` tracks the multi-turn stateful suite —
+    per-episode tool state plus per-step turn attribution ride the same
+    hot path, so a regression in the carryover machinery lands here.
+    """
     return {
         "suite": "edgehome",
         "scheme": "lis-k3",
-        "n_episodes": len(suite.queries),
-        "episodes_per_s": len(suite.queries) / batch_s,
+        "n_episodes": 16,
+        "episodes_per_s": _episodes_per_s("edgehome", repeats),
+        "browser_episodes_per_s": _episodes_per_s("browser", repeats),
+    }
+
+
+def bench_engine_overhead(repeats: int) -> dict:
+    """The engine boundary's cost on the default path: must stay < 5%.
+
+    ``engine=None`` is the pre-boundary direct construction;
+    ``EngineSpec("simulated")`` routes the *same* SimulatedLLM through
+    the ``repro.engines`` registry.  The factory returns the identical
+    object type, so any gap is pure dispatch overhead — asserted under
+    5% here and guarded (with the normal tolerance) by
+    ``check_perf_regression.py`` so the seam can never quietly tax
+    every simulated run.
+    """
+    from repro.specs import EngineSpec
+
+    def make_agent(engine):
+        session = open_session("edgehome", n_queries=16,
+                               embedder=CachedEmbedder())
+        agent = session.build_agent(AgentSpec(
+            scheme="lis-k3", model="hermes2-pro-8b", quant="q4_K_M",
+            engine=engine))
+        agent.run(session.suite.queries[0])  # warm caches
+        return agent, session.suite.queries
+
+    direct_agent, queries = make_agent(None)
+    engined_agent, _ = make_agent(EngineSpec("simulated"))
+
+    def batch(agent):
+        start = time.perf_counter()
+        for query in queries:
+            agent.run(query)
+        return time.perf_counter() - start
+
+    # alternate the two paths and keep each one's best time — back-to-
+    # back medians drift far more than the 5% budget on shared machines,
+    # while interleaved minima cancel the drift
+    direct_samples, engined_samples = [], []
+    for _ in range(max(5, repeats // 3)):
+        direct_samples.append(batch(direct_agent))
+        engined_samples.append(batch(engined_agent))
+    direct = len(queries) / min(direct_samples)
+    engined = len(queries) / min(engined_samples)
+    overhead_frac = 1.0 - engined / direct
+    assert overhead_frac < 0.05, (
+        f"engine boundary costs {overhead_frac:.1%} episode throughput "
+        f"(direct {direct:.1f}/s vs engined {engined:.1f}/s); budget is 5%")
+    return {
+        "suite": "edgehome",
+        "scheme": "lis-k3",
+        "direct_episodes_per_s": direct,
+        "engined_episodes_per_s": engined,
+        "overhead_frac": overhead_frac,
     }
 
 
@@ -219,6 +290,9 @@ def collect(repeats: int, grid_queries: int) -> dict:
     # the sockets path: same gateway behind the HTTP front door, so the
     # delta against batched_req_per_s is the wire + JSON overhead
     serving["http"] = bench_serving_http()
+    # the engine boundary: simulated episodes routed through
+    # repro.engines vs the direct path (< 5% asserted inside)
+    serving["engine_overhead"] = bench_engine_overhead(repeats)
     return {
         "schema_version": 2,
         "machine": {
@@ -255,7 +329,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"search : flat {search['flat_batched_ms']:.2f} ms / "
           f"{search['n_queries']} queries (x{search['flat_batch_speedup']:.1f} "
           f"vs per-query)")
-    print(f"episode: {report['episode']['episodes_per_s']:.1f} episodes/s")
+    print(f"episode: {report['episode']['episodes_per_s']:.1f} episodes/s "
+          f"(browser multi-turn "
+          f"{report['episode']['browser_episodes_per_s']:.1f}/s)")
     catalog = report["catalog"]
     print(f"catalog: {len(catalog['catalogs'])} catalogs in "
           f"{catalog['build_ms']:.1f} ms; tool prompt tokens "
@@ -285,6 +361,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"http   : {http['req_per_s']:.0f} req/s over sockets "
               f"(p95 {http['p95_ms']:.1f} ms, mean batch "
               f"{http['mean_batch_size']:.1f})")
+    engine = serving.get("engine_overhead")
+    if engine:
+        print(f"engine : {engine['engined_episodes_per_s']:.1f} episodes/s "
+              f"through the engine boundary vs "
+              f"{engine['direct_episodes_per_s']:.1f} direct "
+              f"({engine['overhead_frac']:+.1%} overhead)")
     obs = serving.get("obs")
     if obs:
         print(f"obs    : {obs['req_per_s_sample_1']:.0f} req/s fully traced "

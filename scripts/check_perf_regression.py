@@ -29,6 +29,9 @@ TRACKED_METRICS = [
     ("search", "ivf_batched_ms", False),
     ("search", "pq_batched_ms", False),
     ("episode", "episodes_per_s", True),
+    # the multi-turn stateful suite shares the hot path but adds
+    # per-episode tool state + per-step turn attribution
+    ("episode", "browser_episodes_per_s", True),
     ("catalog", "build_ms", False),
     # the variant ratios are < 1.0 by construction (shrunken variants
     # cost fewer tool_prompt_tokens than full); they regress upward
@@ -53,6 +56,10 @@ TRACKED_METRICS = [
     # BENCH_perf.json unguarded, same latency-jitter rationale as
     # serving.batched_p95_ms
     ("serving.http", "req_per_s", True),
+    # engine-boundary invariant: simulated episodes routed through
+    # repro.engines must keep pace with the direct path (bench_perf
+    # additionally hard-asserts the gap below 5% while measuring)
+    ("serving.engine_overhead", "engined_episodes_per_s", True),
 ]
 
 

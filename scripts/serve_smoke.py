@@ -8,11 +8,16 @@ over a real connection, then SIGINTs the server and asserts a clean
 exit.  stdlib only (subprocess + http.client), like everything else on
 the serving edge.
 
-Run:  PYTHONPATH=src python scripts/serve_smoke.py
+Run:  PYTHONPATH=src python scripts/serve_smoke.py [--uvicorn]
+
+``--uvicorn`` smokes the same endpoints through the optional uvicorn
+mount (``repro serve --uvicorn``) instead of the builtin asyncio
+server — CI's http-extras job runs this leg after installing uvicorn.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import signal
@@ -29,12 +34,17 @@ from repro.suites import load_suite  # noqa: E402
 
 BANNER = re.compile(r"serving tenants \[(?P<tenants>[^\]]*)\] at "
                     r"http://(?P<host>[\d.]+):(?P<port>\d+)")
+#: uvicorn's own ready line (it never prints our banner)
+UVICORN_BANNER = re.compile(
+    r"Uvicorn running on http://(?P<host>[\d.]+):(?P<port>\d+)")
 SUITE, N_QUERIES = "edgehome", 6
 BOOT_TIMEOUT_S = 60.0
 
 
-def wait_for_banner(process: subprocess.Popen) -> tuple[str, int]:
+def wait_for_banner(process: subprocess.Popen,
+                    uvicorn: bool = False) -> tuple[str, int]:
     """Read server stdout until the ready banner names the bound port."""
+    pattern = UVICORN_BANNER if uvicorn else BANNER
     deadline = time.monotonic() + BOOT_TIMEOUT_S
     while time.monotonic() < deadline:
         line = process.stdout.readline()
@@ -42,23 +52,33 @@ def wait_for_banner(process: subprocess.Popen) -> tuple[str, int]:
             raise SystemExit(
                 f"server exited before binding (rc={process.poll()})")
         print(f"  server: {line.rstrip()}")
-        match = BANNER.search(line)
+        match = pattern.search(line)
         if match:
-            assert match.group("tenants") == SUITE
+            if not uvicorn:
+                assert match.group("tenants") == SUITE
             return match.group("host"), int(match.group("port"))
     raise SystemExit(f"no ready banner within {BOOT_TIMEOUT_S:.0f}s")
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uvicorn", action="store_true",
+                        help="smoke through the uvicorn mount (requires the "
+                             "optional uvicorn extra)")
+    args = parser.parse_args(argv)
+
     qid = load_suite(SUITE, n_queries=N_QUERIES).queries[0].qid
+    command = [sys.executable, "-m", "repro", "serve", "--tenants", SUITE,
+               "-n", str(N_QUERIES), "--port", "0"]
+    if args.uvicorn:
+        command.append("--uvicorn")
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--tenants", SUITE,
-         "-n", str(N_QUERIES), "--port", "0"],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         cwd=REPO_ROOT, env={**os.environ, "PYTHONPATH": "src"},
     )
     try:
-        host, port = wait_for_banner(process)
+        host, port = wait_for_banner(process, uvicorn=args.uvicorn)
         with HTTPConnection(host, port) as conn:
             health = conn.get("/healthz")
             assert health.status == 200, health.text

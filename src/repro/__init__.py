@@ -30,6 +30,7 @@ _LAZY_EXPORTS = {
     "Session": ("repro.session", "Session"),
     "AgentSpec": ("repro.specs", "AgentSpec"),
     "CatalogSpec": ("repro.specs", "CatalogSpec"),
+    "EngineSpec": ("repro.specs", "EngineSpec"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
     "GridSpec": ("repro.specs", "GridSpec"),
     "HttpSpec": ("repro.specs", "HttpSpec"),
@@ -47,6 +48,8 @@ _LAZY_EXPORTS = {
     "register_grid_backend": ("repro.registry", "register_grid_backend"),
     "register_serving_backend": ("repro.registry", "register_serving_backend"),
     "register_catalog": ("repro.registry", "register_catalog"),
+    "register_engine": ("repro.registry", "register_engine"),
+    "build_engine_llm": ("repro.engines", "build_engine_llm"),
     # the HTTP front door
     "create_app": ("repro.serving.http", "create_app"),
     "serve_gateway": ("repro.serving.http", "serve_gateway"),

@@ -18,26 +18,20 @@ from repro.registry import SchemeContext, register_scheme
 
 @register_scheme("default")
 def _build_default(model: str, quant: str, context: SchemeContext, **kwargs):
-    from repro.llm import SimulatedLLM
-
-    llm = SimulatedLLM.from_registry(model, quant)
+    llm = context.build_llm(model, quant)
     return DefaultAgent(llm=llm, suite=context.suite, **kwargs)
 
 
 @register_scheme("gorilla")
 def _build_gorilla(model: str, quant: str, context: SchemeContext, **kwargs):
-    from repro.llm import SimulatedLLM
-
-    llm = SimulatedLLM.from_registry(model, quant)
+    llm = context.build_llm(model, quant)
     return GorillaAgent(llm=llm, suite=context.suite,
                         embedder=context.embedder, **kwargs)
 
 
 @register_scheme("toolllm")
 def _build_toolllm(model: str, quant: str, context: SchemeContext, **kwargs):
-    from repro.llm import SimulatedLLM
-
-    llm = SimulatedLLM.from_registry(model, quant)
+    llm = context.build_llm(model, quant)
     return ToolLLMAgent(llm=llm, suite=context.suite,
                         embedder=context.embedder, **kwargs)
 

@@ -22,6 +22,7 @@ is immediately addressable as ``--suite <name>``.
 Examples::
 
     python -m repro run --suite bfcl --scheme lis-k3 --model llama3.1-8b
+    python -m repro run --suite browser --engine-url http://127.0.0.1:8080/v1
     python -m repro grid --suite bfcl --schemes default,lis-k3 \
         --quants q4_K_M,q8_0 --backend process --workers 4
     python -m repro compare --suite geoengine --model hermes2-pro-8b -n 60
@@ -41,7 +42,7 @@ import argparse
 
 from repro.registry import GRID_BACKENDS, SUITES
 from repro.session import open_session
-from repro.specs import AgentSpec, ExperimentSpec, GridSpec, SuiteSpec
+from repro.specs import AgentSpec, EngineSpec, ExperimentSpec, GridSpec, SuiteSpec
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -60,12 +61,26 @@ def _session(args: argparse.Namespace, agent: AgentSpec | None = None,
     ))
 
 
+def _engine_spec(args: argparse.Namespace) -> EngineSpec | None:
+    """Build the run's :class:`EngineSpec` from ``--engine``/``--engine-url``.
+
+    ``--engine-url`` alone implies ``openai_http``; ``--engine`` alone
+    names any registered engine; neither keeps the simulated default
+    (engine=None — the zero-overhead direct path).
+    """
+    if args.engine is None and args.engine_url is None:
+        return None
+    name = args.engine or "openai_http"
+    return EngineSpec(name=name, base_url=args.engine_url)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.evaluation.reporting import render_metric_table
     from repro.evaluation.stats import success_rate_ci
 
     session = _session(args, agent=AgentSpec(
-        scheme=args.scheme, model=args.model, quant=args.quant))
+        scheme=args.scheme, model=args.model, quant=args.quant,
+        engine=_engine_spec(args)))
     run = session.run()
     label = f"{args.scheme} {args.model}-{args.quant}"
     print(render_metric_table({label: run.summary},
@@ -335,7 +350,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     serving = serving.replace(http=http)
     gateway = open_session(serving).serve()
     if args.uvicorn:
-        run_uvicorn(create_app(gateway), http)
+        run_uvicorn(create_app(gateway, http=http), http)
         return 0
 
     async def serve() -> None:
@@ -361,6 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="evaluate one batch")
     _add_common(run_parser)
     run_parser.add_argument("--scheme", default="lis-k3")
+    run_parser.add_argument("--engine", default=None,
+                            help="LLM engine name (registered via "
+                                 "register_engine; default: the simulated "
+                                 "engine)")
+    run_parser.add_argument("--engine-url", default=None, metavar="URL",
+                            help="base URL of an OpenAI-compatible server "
+                                 "(e.g. http://127.0.0.1:8080/v1); implies "
+                                 "--engine openai_http")
     run_parser.set_defaults(func=cmd_run)
 
     grid_parser = sub.add_parser("grid", help="sweep a grid on a worker pool")

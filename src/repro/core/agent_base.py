@@ -66,7 +66,9 @@ class FunctionCallingAgent:
         self.device = device
         self.skill_multiplier = skill_multiplier
         self.arg_multiplier = arg_multiplier
-        self.executor = SimulatedToolExecutor(suite.registry)
+        factory = suite.executor_factory
+        self.executor = (factory(suite.registry) if factory is not None
+                         else SimulatedToolExecutor(suite.registry))
 
     # ------------------------------------------------------------------
     # to be provided by subclasses
@@ -130,6 +132,9 @@ class FunctionCallingAgent:
         window = plan.context_window
         in_fallback = False
         called_tools: list[str] = []
+        # one tool-state object per episode: stateful executors carry tool
+        # effects across chain steps (and conversation turns) through it
+        tool_state = self.executor.new_episode_state()
         for step_index in range(query.n_steps):
             if not in_fallback:
                 tools, replan_overhead = self.tools_for_step(
@@ -137,6 +142,7 @@ class FunctionCallingAgent:
                 session.add_overhead(replan_overhead)
             record, in_fallback, tools, window = self._run_step(
                 query, step_index, tools, window, in_fallback, session, result,
+                tool_state,
             )
             result.steps.append(record)
             if record.tool_called is not None:
@@ -169,8 +175,9 @@ class FunctionCallingAgent:
     # internals
     # ------------------------------------------------------------------
     def _run_step(self, query, step_index, tools, window, in_fallback,
-                  session, result):
+                  session, result, tool_state=None):
         attempt = 0
+        turn_index = query.turn_of_step(step_index)
         turn = self._turn(query, step_index, tools, window, attempt, session, result)
 
         if turn.signalled_error:
@@ -187,11 +194,12 @@ class FunctionCallingAgent:
 
         if turn.call is None:
             record = StepRecord(step_index, None, False, False, len(tools),
-                                retried=attempt > 0)
+                                retried=attempt > 0, turn_index=turn_index)
             return record, in_fallback, tools, window
 
         allowed = set(turn.tools_seen)
-        outcome = self.executor.execute(turn.call, allowed=allowed)
+        outcome = self.executor.execute(turn.call, allowed=allowed,
+                                        state=tool_state)
         session.add_api_latency(outcome.api_latency_s)
         if not outcome.ok and query.sequential:
             # multi-turn copilots (GeoEngine) surface the API validation
@@ -202,7 +210,8 @@ class FunctionCallingAgent:
                                     session, result)
             if retry_turn.call is not None:
                 turn = retry_turn
-                outcome = self.executor.execute(turn.call, allowed=set(turn.tools_seen))
+                outcome = self.executor.execute(turn.call, allowed=set(turn.tools_seen),
+                                                state=tool_state)
                 session.add_api_latency(outcome.api_latency_s)
 
         record = StepRecord(
@@ -212,6 +221,7 @@ class FunctionCallingAgent:
             execution_ok=outcome.ok if turn.call else False,
             n_tools_presented=len(tools),
             retried=attempt > 0,
+            turn_index=turn_index,
         )
         return record, in_fallback, tools, window
 

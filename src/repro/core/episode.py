@@ -16,6 +16,8 @@ class StepRecord:
     execution_ok: bool
     n_tools_presented: int
     retried: bool = False
+    #: conversation turn this step belongs to (0 for single-shot queries)
+    turn_index: int = 0
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -164,7 +164,7 @@ def _build_lis(model: str, quant: str, context: SchemeContext,
     built through a shared runner/session reuse one offline index across
     the whole grid (the paper's one-time offline step).
     """
-    llm = SimulatedLLM.from_registry(model, quant)
+    llm = context.build_llm(model, quant)
     embedder = context.embedder if context.embedder is not None else shared_embedder()
     return LessIsMoreAgent(llm=llm, suite=context.suite, levels=context.levels,
                            k=k, embedder=embedder, **kwargs)

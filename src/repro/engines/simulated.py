@@ -1,0 +1,20 @@
+"""The default engine: the deterministic in-process simulator.
+
+The factory returns :class:`~repro.llm.engine.SimulatedLLM` itself —
+not a wrapper — so episodes built through the engine registry are the
+*same objects on the same code path* as the pre-boundary direct
+construction, and bitwise identity with the legacy path is structural
+rather than asserted (``tests/test_session_equivalence.py`` asserts it
+anyway).
+"""
+
+from __future__ import annotations
+
+from repro.llm.engine import SimulatedLLM
+from repro.registry import register_engine
+
+
+@register_engine("simulated")
+def build_simulated(spec, model: str, quant: str) -> SimulatedLLM:
+    """Build the simulated LLM; connection knobs on ``spec`` are unused."""
+    return SimulatedLLM.from_registry(model, quant)

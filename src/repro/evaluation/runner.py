@@ -18,6 +18,7 @@ from repro.registry import (
     build_scheme,
     register_grid_backend,
 )
+from repro.specs import EngineSpec
 from repro.suites.base import BenchmarkSuite
 
 
@@ -43,10 +44,18 @@ class ExperimentRunner:
     Search Levels are model-independent, so they are built once per
     runner and reused across the whole model x quant x scheme grid —
     exactly the paper's one-time offline step.
+
+    ``engine`` (an :class:`~repro.specs.EngineSpec`, default ``None`` =
+    the simulated engine) selects the LLM backend for every agent this
+    runner builds.  It is plain picklable data: the runner snapshot
+    carries it to process-pool workers, and each worker re-resolves the
+    engine factory by registry name — live HTTP clients never cross the
+    pool boundary.
     """
 
     suite: BenchmarkSuite
     embedder: CachedEmbedder = field(default_factory=shared_embedder)
+    engine: EngineSpec | None = None
     _levels: SearchLevels | None = None
 
     @property
@@ -65,11 +74,16 @@ class ExperimentRunner:
         ``lis`` (alias ``lis-k3``), or any parameterized ``lis-k<N>``;
         schemes added via :func:`repro.registry.register_scheme` resolve
         identically.  The factory receives this runner's suite, shared
-        embedder and lazily-built Search Levels, so every cell of a grid
-        reuses one offline index.
+        embedder, lazily-built Search Levels and engine spec, so every
+        cell of a grid reuses one offline index and one LLM backend
+        selection.  ``engine`` overrides the runner's engine for this
+        one agent (an :class:`~repro.specs.EngineSpec` or engine name).
         """
+        engine = kwargs.pop("engine", None)
+        if engine is None:
+            engine = self.engine
         context = SchemeContext(suite=self.suite, embedder=self.embedder,
-                                levels_fn=lambda: self.levels)
+                                levels_fn=lambda: self.levels, engine=engine)
         return build_scheme(scheme, model, quant, context, **kwargs)
 
     # ------------------------------------------------------------------

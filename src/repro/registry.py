@@ -179,8 +179,8 @@ SERVING_BACKENDS = Registry("serving execution backend", builtin_modules=(
 #: and description variants.
 CATALOGS = Registry("catalog", builtin_modules=(
     "repro.suites.bfcl_catalog", "repro.suites.geoengine_catalog",
-    "repro.suites.edgehome"),
-    builtin_names=("bfcl", "geoengine", "edgehome"))
+    "repro.suites.edgehome", "repro.suites.browser"),
+    builtin_names=("bfcl", "geoengine", "edgehome", "browser"))
 
 #: trace sink name -> factory ``f(obs_spec) -> sink`` where the sink
 #: satisfies the :class:`~repro.obs.sinks.TraceSink` protocol
@@ -189,6 +189,16 @@ CATALOGS = Registry("catalog", builtin_modules=(
 TRACE_SINKS = Registry("trace sink", builtin_modules=(
     "repro.obs.sinks",),
     builtin_names=("memory", "jsonl", "null"))
+
+#: engine name -> factory ``f(spec, model, quant) -> llm`` returning an
+#: agent-facing LLM (the :class:`~repro.llm.engine.SimulatedLLM`
+#: surface: ``model``/``quant``/``name``, ``recommend_tools``,
+#: ``execute_step``).  ``spec`` is the :class:`~repro.specs.EngineSpec`
+#: carrying connection/decoding knobs.  The ``simulated`` engine is the
+#: deterministic default; ``openai_http`` drives any OpenAI-compatible
+#: chat-completions server (llama.cpp ``llama-server``, vLLM, Ollama).
+ENGINES = Registry("engine", builtin_modules=("repro.engines",),
+                   builtin_names=("simulated", "openai_http"))
 
 #: fault hook name -> one-line description of what an injected fault
 #: does there.  The chaos harness (:mod:`repro.serving.faults`) fires
@@ -252,6 +262,21 @@ def register_fault_hook(name: str, description: str | None = None, *,
     return FAULT_HOOKS.register(name, description, replace=replace)
 
 
+def register_engine(name: str, factory: Callable | None = None, *,
+                    replace: bool = False):
+    """Register an engine factory ``f(spec, model, quant) -> llm``.
+
+    The factory receives the :class:`~repro.specs.EngineSpec` plus the
+    repo-side model/quant names and returns an agent-facing LLM object
+    exposing the ``SimulatedLLM`` surface (``model``, ``quant``,
+    ``name``, ``recommend_tools``, ``execute_step``).  Engines are
+    re-resolved by name on each side of the process-pool boundary, so
+    factories must build from the picklable spec alone — never capture
+    live sockets at registration time.
+    """
+    return ENGINES.register(name, factory, replace=replace)
+
+
 def register_catalog(name: str, builder: Callable | None = None, *,
                      replace: bool = False):
     """Register a tool-catalog builder by name.
@@ -281,12 +306,33 @@ class SchemeContext:
     context can serve every scheme; callers that already hold an offline
     index (the :class:`~repro.evaluation.runner.ExperimentRunner`) pass
     ``levels_fn`` to share it.
+
+    ``engine`` (an :class:`~repro.specs.EngineSpec`, or ``None`` for the
+    default simulated engine) names the LLM backend; scheme factories
+    construct their LLM through :meth:`build_llm` so every scheme honors
+    the engine selection without knowing the engine table.
     """
 
     suite: Any
     embedder: Any = None
     levels_fn: Callable[[], Any] | None = field(default=None, repr=False)
+    engine: Any = None
     _levels: Any = field(default=None, repr=False)
+
+    def build_llm(self, model: str, quant: str):
+        """Build the agent-facing LLM for this context's engine.
+
+        ``engine=None`` short-circuits to the simulated engine without
+        touching the registry — the default path stays exactly the
+        pre-engine-boundary code path.
+        """
+        if self.engine is None:
+            from repro.llm.engine import SimulatedLLM
+
+            return SimulatedLLM.from_registry(model, quant)
+        from repro.engines import build_engine_llm
+
+        return build_engine_llm(self.engine, model, quant)
 
     @property
     def levels(self):

@@ -25,8 +25,11 @@ trace id in an ``X-Trace-Id`` header (success and failure alike).
 
 from __future__ import annotations
 
+import math
+
 from repro.serving.batcher import QueueFullError, SchedulerStoppedError
 from repro.serving.gateway import DeadlineExceededError, Gateway, TenantShedError
+from repro.serving.http.limits import RateLimiter
 from repro.serving.http.router import Router
 from repro.serving.http.wire import (
     BadRequestError,
@@ -92,10 +95,26 @@ class GatewayHTTPApp:
     start/stop the gateway), driven directly by the in-process test
     client (``async with app: ...``), or served over real sockets by
     :func:`repro.serving.http.serve_gateway`.
+
+    ``http`` (an :class:`~repro.specs.HttpSpec`, default the gateway
+    config's) carries the edge-hardening knobs: with ``api_key`` set,
+    every route except ``/healthz`` demands ``Authorization: Bearer
+    <key>`` (401 otherwise); with ``rate_limit_rps`` set, ``POST
+    /v1/call`` runs each tenant through a token bucket and answers 429
+    with a ``Retry-After`` header once drained.  Both are off by
+    default — the edge stays a transparent wire.
     """
 
-    def __init__(self, gateway: Gateway):
+    def __init__(self, gateway: Gateway, http=None):
         self.gateway = gateway
+        if http is None:
+            http = getattr(gateway.config, "http", None)
+        self.http = http
+        self.api_key = getattr(http, "api_key", None)
+        rps = getattr(http, "rate_limit_rps", None)
+        self.rate_limiter = (
+            RateLimiter(rps, getattr(http, "rate_limit_burst", None))
+            if rps is not None else None)
         self.router = Router()
         self.router.add("POST", "/v1/call", self._call)
         self.router.add("GET", "/v1/tenants", self._list_tenants)
@@ -116,6 +135,17 @@ class GatewayHTTPApp:
         if scope["type"] != "http":
             raise RuntimeError(
                 f"unsupported ASGI scope type {scope['type']!r}")
+        # liveness probes must never need credentials (or a kubelet-style
+        # monitor with no secret would restart a healthy server)
+        if self.api_key is not None and scope["path"] != "/healthz":
+            if self._bearer_token(scope) != self.api_key:
+                await send_json(send, 401, {"error": {
+                    "type": "Unauthorized",
+                    "message": "missing or invalid API key; send "
+                               "'Authorization: Bearer <key>'",
+                    "status": 401}},
+                    headers={"www-authenticate": "Bearer"})
+                return
         handler, params, allowed = self.router.resolve(
             scope["method"], scope["path"])
         if handler is None:
@@ -180,10 +210,32 @@ class GatewayHTTPApp:
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _bearer_token(scope) -> str | None:
+        """The ``Authorization: Bearer`` credential in ``scope``, if any."""
+        for name, value in scope.get("headers", ()):
+            if name.lower() == b"authorization":
+                text = value.decode("latin-1")
+                if text.lower().startswith("bearer "):
+                    return text[7:].strip()
+                return None
+        return None
+
     async def _call(self, receive, send, params) -> None:
         payload = parse_json(await read_body(receive))
         check_fields(payload, _CALL_FIELDS)
         tenant = require_field(payload, "tenant")
+        if self.rate_limiter is not None:
+            wait_s = self.rate_limiter.try_acquire(tenant)
+            if wait_s > 0.0:
+                await send_json(send, 429, {"error": {
+                    "type": "RateLimited",
+                    "message": f"tenant {tenant!r} exceeded "
+                               f"{self.http.rate_limit_rps:g} requests/s",
+                    "status": 429,
+                    "retry_after_s": wait_s}},
+                    headers={"retry-after": str(max(1, math.ceil(wait_s)))})
+                return
         qid = payload.get("qid")
         text = payload.get("query")
         if (qid is None) == (text is None):
@@ -322,6 +374,12 @@ class GatewayHTTPApp:
                         content_type=METRICS_CONTENT_TYPE)
 
 
-def create_app(gateway: Gateway) -> GatewayHTTPApp:
-    """Build the ASGI app over ``gateway`` (the factory servers mount)."""
-    return GatewayHTTPApp(gateway)
+def create_app(gateway: Gateway, http=None) -> GatewayHTTPApp:
+    """Build the ASGI app over ``gateway`` (the factory servers mount).
+
+    ``http`` (an :class:`~repro.specs.HttpSpec`) supplies the edge
+    hardening knobs — API-key auth and per-tenant rate limiting;
+    ``None`` falls back to the spec stored on the gateway config, and a
+    config without one leaves both off.
+    """
+    return GatewayHTTPApp(gateway, http=http)

@@ -51,7 +51,8 @@ class ASGITestClient:
 
     async def request(self, method: str, path: str,
                       json_body: dict | None = None,
-                      body: bytes | None = None) -> Response:
+                      body: bytes | None = None,
+                      headers: dict[str, str] | None = None) -> Response:
         if json_body is not None:
             body = json.dumps(json_body).encode("utf-8")
         messages = [{"type": "http.request", "body": body or b"",
@@ -75,7 +76,9 @@ class ASGITestClient:
             "path": path,
             "raw_path": path.encode("latin-1"),
             "query_string": b"",
-            "headers": [],
+            "headers": [(key.lower().encode("latin-1"),
+                         value.encode("latin-1"))
+                        for key, value in (headers or {}).items()],
             "client": ("testclient", 0),
             "server": ("testserver", 80),
         }
@@ -95,19 +98,24 @@ class ASGITestClient:
             body=response_body,
         )
 
-    async def get(self, path: str) -> Response:
-        return await self.request("GET", path)
+    async def get(self, path: str,
+                  headers: dict[str, str] | None = None) -> Response:
+        return await self.request("GET", path, headers=headers)
 
     async def post(self, path: str, json_body: dict | None = None,
-                   body: bytes | None = None) -> Response:
+                   body: bytes | None = None,
+                   headers: dict[str, str] | None = None) -> Response:
         return await self.request("POST", path, json_body=json_body,
-                                  body=body)
+                                  body=body, headers=headers)
 
-    async def put(self, path: str, json_body: dict | None = None) -> Response:
-        return await self.request("PUT", path, json_body=json_body)
+    async def put(self, path: str, json_body: dict | None = None,
+                  headers: dict[str, str] | None = None) -> Response:
+        return await self.request("PUT", path, json_body=json_body,
+                                  headers=headers)
 
-    async def delete(self, path: str) -> Response:
-        return await self.request("DELETE", path)
+    async def delete(self, path: str,
+                     headers: dict[str, str] | None = None) -> Response:
+        return await self.request("DELETE", path, headers=headers)
 
 
 @dataclass
@@ -161,13 +169,15 @@ class HTTPConnection:
                                                 timeout=timeout_s)
 
     def request(self, method: str, path: str,
-                json_body: dict | None = None) -> Response:
+                json_body: dict | None = None,
+                headers: dict[str, str] | None = None) -> Response:
         body = None
-        headers = {}
+        wire_headers = dict(headers or {})
         if json_body is not None:
             body = json.dumps(json_body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        self._conn.request(method.upper(), path, body=body, headers=headers)
+            wire_headers["Content-Type"] = "application/json"
+        self._conn.request(method.upper(), path, body=body,
+                           headers=wire_headers)
         raw = self._conn.getresponse()
         return Response(
             status=raw.status,
@@ -175,11 +185,14 @@ class HTTPConnection:
             body=raw.read(),
         )
 
-    def get(self, path: str) -> Response:
-        return self.request("GET", path)
+    def get(self, path: str,
+            headers: dict[str, str] | None = None) -> Response:
+        return self.request("GET", path, headers=headers)
 
-    def post(self, path: str, json_body: dict | None = None) -> Response:
-        return self.request("POST", path, json_body=json_body)
+    def post(self, path: str, json_body: dict | None = None,
+             headers: dict[str, str] | None = None) -> Response:
+        return self.request("POST", path, json_body=json_body,
+                            headers=headers)
 
     def close(self) -> None:
         self._conn.close()

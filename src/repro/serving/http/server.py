@@ -213,8 +213,8 @@ async def serve_gateway(gateway, http: HttpSpec | None = None,
     how callers learn an ephemeral port.  The gateway starts through the
     app's idempotent startup, so a pre-started gateway works too.
     """
-    app = create_app(gateway)
     http = http if http is not None else gateway.config.http
+    app = create_app(gateway, http=http)
     async with app:
         async with AsgiServer(app, http=http) as server:
             if ready is not None:

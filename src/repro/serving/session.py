@@ -39,10 +39,12 @@ class TenantSession:
     replayed against another.
     """
 
-    def __init__(self, name: str, suite: BenchmarkSuite, embedder: CachedEmbedder):
+    def __init__(self, name: str, suite: BenchmarkSuite, embedder: CachedEmbedder,
+                 engine=None):
         self.name = name
         self.suite = suite
-        self.runner = ExperimentRunner(suite, embedder=embedder)
+        self.engine = engine
+        self.runner = ExperimentRunner(suite, embedder=embedder, engine=engine)
         self._agents: dict[tuple[str, str, str], object] = {}
         self._lock = threading.Lock()
         self._index_queries(suite)
@@ -95,7 +97,8 @@ class TenantSession:
         the tenant untouched.
         """
         new_suite = self.suite.with_catalog(catalog)  # validates gold calls
-        new_runner = ExperimentRunner(new_suite, embedder=self.runner.embedder)
+        new_runner = ExperimentRunner(new_suite, embedder=self.runner.embedder,
+                                      engine=self.engine)
         _ = new_runner.levels  # re-index now, not on the first request
         new_runner.embedder.encode(new_suite.registry.descriptions())
         new_agents: dict[tuple[str, str, str], object] = {}
@@ -158,12 +161,18 @@ class SessionManager:
         self._tenants: dict[str, TenantSession] = {}
         self._lock = threading.Lock()
 
-    def register(self, name: str, suite: BenchmarkSuite) -> TenantSession:
-        """Add a tenant serving ``suite``; duplicate names are an error."""
+    def register(self, name: str, suite: BenchmarkSuite,
+                 engine=None) -> TenantSession:
+        """Add a tenant serving ``suite``; duplicate names are an error.
+
+        ``engine`` (an :class:`~repro.specs.EngineSpec`, or ``None`` for
+        the simulated default) selects the LLM backend for every agent
+        this tenant builds — including after catalog hot-swaps.
+        """
         with self._lock:
             if name in self._tenants:
                 raise ValueError(f"tenant {name!r} already registered")
-            session = TenantSession(name, suite, self.embedder)
+            session = TenantSession(name, suite, self.embedder, engine=engine)
             self._tenants[name] = session
             return session
 

@@ -131,6 +131,8 @@ class Session:
         have no spec field (e.g. ``skill_multiplier``).
         """
         spec = self._agent_spec(agent)
+        if spec.engine is not None:
+            kwargs.setdefault("engine", spec.engine)
         return self.runner.make_agent(spec.scheme, spec.model, spec.quant,
                                       **{**spec.agent_kwargs(), **kwargs})
 
@@ -141,6 +143,8 @@ class Session:
             n_queries: int | None = None, **kwargs) -> "EvaluationRun":
         """Run one evaluation batch for one agent grid cell."""
         spec = self._agent_spec(agent)
+        if spec.engine is not None:
+            kwargs.setdefault("engine", spec.engine)
         return self.runner.run(spec.scheme, spec.model, spec.quant,
                                n_queries=n_queries,
                                **{**spec.agent_kwargs(), **kwargs})
@@ -183,10 +187,15 @@ class Session:
         if serving.tenants:
             for tenant in serving.tenants:
                 # the tenant's CatalogSpec override (variant / subset /
-                # replacement pool) is applied declaratively at load time
-                sessions.register(tenant.name, tenant.effective_suite().load())
+                # replacement pool) is applied declaratively at load time;
+                # a tenant-level engine wins over the serving default
+                engine = (tenant.engine if tenant.engine is not None
+                          else serving.default_engine)
+                sessions.register(tenant.name, tenant.effective_suite().load(),
+                                  engine=engine)
         else:
-            sessions.register(self.suite.name, self.suite)
+            sessions.register(self.suite.name, self.suite,
+                              engine=serving.default_engine)
         return Gateway(sessions, config=serving.to_config())
 
 

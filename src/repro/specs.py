@@ -72,6 +72,79 @@ def _as_tuple(value) -> tuple:
 #: tests/test_specs.py) so constructing a spec stays import-free
 CATALOG_VARIANTS = ("full", "compressed", "minimal")
 
+#: engines every install ships — mirror the builtin names declared on
+#: repro.registry.ENGINES (kept in sync by tests/test_specs.py) so
+#: constructing an EngineSpec stays import-free for the common names
+ENGINE_BUILTINS = ("simulated", "openai_http")
+
+
+@dataclass(frozen=True)
+class EngineSpec(_SpecBase):
+    """Which LLM engine backs an agent, and how to reach it.
+
+    ``name`` resolves through the engine registry
+    (:data:`repro.registry.ENGINES`).  The default ``simulated`` engine
+    is the deterministic in-process recommender and needs no other
+    fields.  ``openai_http`` speaks the OpenAI-compatible
+    chat-completions wire format (llama.cpp ``llama-server``, vLLM,
+    Ollama, ...) and requires ``base_url``; ``wire_model`` is the model
+    name sent on the wire when it differs from the repo's model id.
+
+    The spec holds only plain data — live HTTP clients are constructed
+    from it on each side of the process-pool boundary, never pickled.
+    """
+
+    name: str = "simulated"
+    base_url: str | None = None
+    wire_model: str | None = None
+    api_key: str | None = None
+    timeout_s: float = 30.0
+    retries: int = 2
+    retry_backoff_ms: float = 100.0
+    max_tokens: int = 512
+    temperature: float = 0.0
+
+    def __post_init__(self):
+        _require(bool(self.name), "EngineSpec.name must be a non-empty string")
+        if self.name not in ENGINE_BUILTINS:
+            from repro.registry import ENGINES
+
+            # import-free for the builtin names above; an unknown name
+            # loads the engine modules to give a definitive answer
+            if self.name not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {self.name!r}; registered engines: "
+                    f"{', '.join(ENGINES.names())}")
+        _require(self.name != "openai_http" or bool(self.base_url),
+                 "EngineSpec(name='openai_http') requires base_url "
+                 "(e.g. 'http://127.0.0.1:8080/v1')")
+        _require(self.timeout_s > 0.0,
+                 f"EngineSpec.timeout_s must be > 0, got {self.timeout_s}")
+        _require(self.retries >= 0,
+                 f"EngineSpec.retries must be >= 0, got {self.retries}")
+        _require(self.retry_backoff_ms >= 0.0,
+                 f"EngineSpec.retry_backoff_ms must be >= 0, "
+                 f"got {self.retry_backoff_ms}")
+        _require(self.max_tokens >= 1,
+                 f"EngineSpec.max_tokens must be >= 1, got {self.max_tokens}")
+        _require(self.temperature >= 0.0,
+                 f"EngineSpec.temperature must be >= 0, got {self.temperature}")
+
+    def build_llm(self, model: str, quant: str):
+        """Resolve the engine factory and build the agent-facing LLM."""
+        from repro.engines import build_engine_llm
+
+        return build_engine_llm(self, model, quant)
+
+
+def _coerce_engine(value):
+    """Accept an EngineSpec, a bare engine name, or a to_dict() dict."""
+    if isinstance(value, str):
+        return EngineSpec(value)
+    if isinstance(value, dict):
+        return EngineSpec.from_dict(value)
+    return value
+
 
 @dataclass(frozen=True)
 class CatalogSpec(_SpecBase):
@@ -167,11 +240,16 @@ class AgentSpec(_SpecBase):
     confidence_threshold: float | None = None
     force_level: int | None = None
     context_window: int | None = None
+    engine: EngineSpec | None = None
 
     def __post_init__(self):
         _require(bool(self.scheme), "AgentSpec.scheme must be a non-empty string")
         _require(bool(self.model), "AgentSpec.model must be a non-empty string")
         _require(bool(self.quant), "AgentSpec.quant must be a non-empty string")
+        object.__setattr__(self, "engine", _coerce_engine(self.engine))
+        _require(self.engine is None or isinstance(self.engine, EngineSpec),
+                 f"AgentSpec.engine must be an EngineSpec, "
+                 f"got {type(self.engine).__name__}")
         _require(self.k is None or self.k >= 1,
                  f"AgentSpec.k must be >= 1, got {self.k}")
         _require(self.force_level is None or self.force_level in (1, 2, 3),
@@ -241,6 +319,7 @@ class TenantSpec(_SpecBase):
     name: str
     suite: SuiteSpec
     catalog: CatalogSpec | None = None
+    engine: EngineSpec | None = None
 
     def __post_init__(self):
         _require(bool(self.name), "TenantSpec.name must be a non-empty string")
@@ -257,6 +336,10 @@ class TenantSpec(_SpecBase):
         _require(self.catalog is None or isinstance(self.catalog, CatalogSpec),
                  f"TenantSpec.catalog must be a CatalogSpec, "
                  f"got {type(self.catalog).__name__}")
+        object.__setattr__(self, "engine", _coerce_engine(self.engine))
+        _require(self.engine is None or isinstance(self.engine, EngineSpec),
+                 f"TenantSpec.engine must be an EngineSpec, "
+                 f"got {type(self.engine).__name__}")
 
     def effective_suite(self) -> SuiteSpec:
         """The suite spec with this tenant's catalog override applied."""
@@ -332,11 +415,21 @@ class HttpSpec(_SpecBase):
     is the listen-socket accept queue — connections beyond it are
     refused by the kernel before they ever reach the gateway's own
     admission control.
+
+    The edge-hardening knobs are off by default: ``api_key`` requires
+    ``Authorization: Bearer <key>`` on every endpoint except
+    ``/healthz`` (missing/wrong keys get 401); ``rate_limit_rps``
+    enforces a per-tenant token bucket on ``POST /v1/call`` (bucket
+    capacity ``rate_limit_burst``, default the ceiling of one second of
+    refill) answering 429 with a ``Retry-After`` header when drained.
     """
 
     host: str = "127.0.0.1"
     port: int = 8080
     backlog: int = 128
+    api_key: str | None = None
+    rate_limit_rps: float | None = None
+    rate_limit_burst: int | None = None
 
     def __post_init__(self):
         _require(bool(self.host), "HttpSpec.host must be a non-empty string")
@@ -344,6 +437,16 @@ class HttpSpec(_SpecBase):
                  f"HttpSpec.port must be in [0, 65535], got {self.port}")
         _require(self.backlog >= 1,
                  f"HttpSpec.backlog must be >= 1, got {self.backlog}")
+        _require(self.api_key is None or bool(self.api_key),
+                 "HttpSpec.api_key must be a non-empty string (or None)")
+        _require(self.rate_limit_rps is None or self.rate_limit_rps > 0.0,
+                 f"HttpSpec.rate_limit_rps must be > 0 (or None), "
+                 f"got {self.rate_limit_rps}")
+        _require(self.rate_limit_burst is None or self.rate_limit_burst >= 1,
+                 f"HttpSpec.rate_limit_burst must be >= 1 (or None), "
+                 f"got {self.rate_limit_burst}")
+        _require(self.rate_limit_burst is None or self.rate_limit_rps is not None,
+                 "HttpSpec.rate_limit_burst requires rate_limit_rps")
 
 
 @dataclass(frozen=True)
@@ -361,6 +464,7 @@ class ServingSpec(_SpecBase):
     """
 
     tenants: tuple[TenantSpec, ...] = ()
+    default_engine: EngineSpec | None = None
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     queue_capacity: int = 256
@@ -437,6 +541,12 @@ class ServingSpec(_SpecBase):
         _require(self.http is None or isinstance(self.http, HttpSpec),
                  f"ServingSpec.http must be an HttpSpec, "
                  f"got {type(self.http).__name__}")
+        object.__setattr__(self, "default_engine",
+                           _coerce_engine(self.default_engine))
+        _require(self.default_engine is None
+                 or isinstance(self.default_engine, EngineSpec),
+                 f"ServingSpec.default_engine must be an EngineSpec, "
+                 f"got {type(self.default_engine).__name__}")
 
     def to_config(self):
         """The runtime :class:`ServingConfig` equivalent of this spec."""
@@ -510,6 +620,7 @@ class ExperimentSpec(_SpecBase):
 __all__ = [
     "AgentSpec",
     "CatalogSpec",
+    "EngineSpec",
     "ExperimentSpec",
     "GridSpec",
     "HttpSpec",

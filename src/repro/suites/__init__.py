@@ -13,21 +13,24 @@ paper) and ``eval`` (the 230-query mini-batches the paper reports on).
 """
 
 from repro.registry import SUITES, register_suite
-from repro.suites.base import BenchmarkSuite, Query
+from repro.suites.base import BenchmarkSuite, Query, QueryTurn
 from repro.suites.bfcl import build_bfcl_suite
+from repro.suites.browser import build_browser_suite
 from repro.suites.edgehome import build_edgehome_suite
 from repro.suites.geoengine import build_geoengine_suite
 
 register_suite("bfcl", build_bfcl_suite)
 register_suite("geoengine", build_geoengine_suite)
 register_suite("edgehome", build_edgehome_suite)
+register_suite("browser", build_browser_suite)
 
 
 def load_suite(name: str, n_queries: int | None = None, seed: int | None = None,
                catalog=None) -> BenchmarkSuite:
     """Load a suite by name through the suite registry.
 
-    Built-ins: ``"bfcl"`` | ``"geoengine"`` | ``"edgehome"``; anything
+    Built-ins: ``"bfcl"`` | ``"geoengine"`` | ``"edgehome"`` |
+    ``"browser"`` (multi-turn, stateful); anything
     added via :func:`repro.registry.register_suite` resolves the same
     way.  ``n_queries`` defaults to the paper's mini-batch size (230).
     ``catalog`` (a :class:`~repro.tools.catalog.ToolCatalog`) overrides
@@ -48,7 +51,9 @@ def load_suite(name: str, n_queries: int | None = None, seed: int | None = None,
 __all__ = [
     "BenchmarkSuite",
     "Query",
+    "QueryTurn",
     "build_bfcl_suite",
+    "build_browser_suite",
     "build_edgehome_suite",
     "build_geoengine_suite",
     "load_suite",

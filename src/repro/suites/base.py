@@ -13,6 +13,25 @@ PAPER_QUERY_BATCH = 230
 
 
 @dataclass(frozen=True)
+class QueryTurn:
+    """One conversation turn of a multi-turn query.
+
+    ``text`` is what the user says on this turn; ``gold_calls`` the
+    reference calls the agent should issue *during* this turn, in order.
+    """
+
+    text: str
+    gold_calls: tuple[ToolCall, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "gold_calls", tuple(self.gold_calls))
+        if not self.text:
+            raise ValueError("QueryTurn.text must be a non-empty string")
+        if not self.gold_calls:
+            raise ValueError("QueryTurn.gold_calls must not be empty")
+
+
+@dataclass(frozen=True)
 class Query:
     """One benchmark query with its gold solution.
 
@@ -20,6 +39,14 @@ class Query:
     BFCL-style independent queries, length >= 2 for GeoEngine-style
     sequential tasks (order matters there — each call consumes the
     previous call's output).
+
+    ``turns`` (optional) structures a conversation: each
+    :class:`QueryTurn` carries the user text and gold calls of one turn,
+    and their concatenation must equal ``gold_calls`` — turns partition
+    the flat chain, so every single-shot consumer (step counts, tool
+    accuracy, the recommender) keeps working unchanged while multi-turn
+    consumers (turn-indexed step records, per-episode executor state)
+    read the boundaries.
     """
 
     qid: str
@@ -27,10 +54,20 @@ class Query:
     category: str
     gold_calls: tuple[ToolCall, ...]
     sequential: bool = False
+    turns: tuple[QueryTurn, ...] = ()
 
     def __post_init__(self):
         if not self.gold_calls:
             raise ValueError(f"query {self.qid}: gold_calls must not be empty")
+        object.__setattr__(self, "turns", tuple(self.turns))
+        if self.turns:
+            flattened = tuple(call for turn in self.turns
+                              for call in turn.gold_calls)
+            if flattened != tuple(self.gold_calls):
+                raise ValueError(
+                    f"query {self.qid}: per-turn gold_calls must concatenate "
+                    f"to gold_calls (turns cover {len(flattened)} calls, "
+                    f"query has {len(self.gold_calls)})")
 
     @property
     def gold_tools(self) -> tuple[str, ...]:
@@ -40,6 +77,22 @@ class Query:
     @property
     def n_steps(self) -> int:
         return len(self.gold_calls)
+
+    @property
+    def n_turns(self) -> int:
+        """Conversation turns (1 for single-shot queries)."""
+        return len(self.turns) if self.turns else 1
+
+    def turn_of_step(self, step_index: int) -> int:
+        """The turn a chain step belongs to (0 for single-shot queries)."""
+        if not self.turns:
+            return 0
+        boundary = 0
+        for turn_index, turn in enumerate(self.turns):
+            boundary += len(turn.gold_calls)
+            if step_index < boundary:
+                return turn_index
+        return len(self.turns) - 1
 
 
 @dataclass
@@ -56,6 +109,13 @@ class BenchmarkSuite:
     a legacy :class:`~repro.tools.registry.ToolRegistry`; registries are
     frozen into a catalog at construction, so ``suite.registry`` — and
     the :attr:`catalog` alias — is always a versioned catalog.
+
+    ``executor_factory`` (optional) builds the suite's tool executor
+    from its catalog — ``f(catalog) -> SimulatedToolExecutor`` — letting
+    stateful suites (the browser suite) install an executor whose
+    :meth:`~repro.tools.executor.SimulatedToolExecutor.new_episode_state`
+    carries tool state across the turns of one episode.  It must be a
+    module-level callable so suites stay picklable.
     """
 
     name: str
@@ -63,6 +123,7 @@ class BenchmarkSuite:
     queries: list[Query]
     train_queries: list[Query] = field(default_factory=list)
     sequential: bool = False
+    executor_factory: object = None
 
     def __post_init__(self):
         if isinstance(self.registry, ToolRegistry):
@@ -95,6 +156,7 @@ class BenchmarkSuite:
         return BenchmarkSuite(
             name=self.name, registry=catalog, queries=self.queries,
             train_queries=self.train_queries, sequential=self.sequential,
+            executor_factory=self.executor_factory,
         )
 
     @property

@@ -79,12 +79,26 @@ class SimulatedToolExecutor:
                 self.executed.append(outcome)
         return outcome
 
-    def execute(self, call: ToolCall, allowed: set[str] | None = None) -> ExecutionOutcome:
+    def new_episode_state(self):
+        """Fresh per-episode tool state, or ``None`` for stateless suites.
+
+        Agents create one state object at the start of every episode and
+        thread it through each :meth:`execute` call, so stateful
+        executors (the browser suite's) carry tool effects across the
+        chain — and across conversation turns — of one episode without
+        leaking between episodes or concurrent users.
+        """
+        return None
+
+    def execute(self, call: ToolCall, allowed: set[str] | None = None,
+                state=None) -> ExecutionOutcome:
         """Validate and run one call.
 
         ``allowed`` restricts the callable set to the tools actually
         presented to the LLM (calling a hallucinated or non-presented tool
         fails, exactly as it would through a constrained decoder).
+        ``state`` is the per-episode object from
+        :meth:`new_episode_state`; the base executor ignores it.
         """
         if allowed is not None and call.tool not in allowed:
             return self._record(ExecutionOutcome(
@@ -103,16 +117,34 @@ class SimulatedToolExecutor:
                 error="; ".join(str(issue) for issue in issues),
             ))
 
+        state_error = self._state_error(call, state)
+        if state_error:
+            return self._record(ExecutionOutcome(
+                call=call, ok=False, error=state_error))
+
         rng = derive_rng("tool-exec", call.to_json())
         latency = float(self.api_latency_mean_s * rng.lognormal(mean=0.0, sigma=0.35))
         return self._record(ExecutionOutcome(
             call=call, ok=True,
-            value=self._fabricate_result(call),
+            value=self._fabricate_result(call, state),
             api_latency_s=latency,
         ))
 
-    def _fabricate_result(self, call: ToolCall) -> dict[str, Any]:
-        """Deterministic, schema-shaped stand-in for the real API payload."""
+    def _state_error(self, call: ToolCall, state) -> str | None:
+        """Hook: reject a call the current episode state cannot support.
+
+        Stateful executors return an error string (e.g. "no page is
+        open") to fail the call *after* schema validation but before
+        result fabrication; the base executor accepts everything.
+        """
+        return None
+
+    def _fabricate_result(self, call: ToolCall, state=None) -> dict[str, Any]:
+        """Deterministic, schema-shaped stand-in for the real API payload.
+
+        Stateful executors override this to read *and mutate* ``state``
+        so later calls of the episode observe earlier effects.
+        """
         token = stable_hash64("result", call.to_json()) % 10_000
         return {
             "tool": call.tool,

@@ -30,7 +30,8 @@ def _report(**overrides) -> dict:
         "encode": {"batched_texts_per_s": 20_000.0, "speedup": 5.0},
         "search": {"flat_batched_ms": 0.5, "ivf_batched_ms": 2.0,
                    "pq_batched_ms": 1.3},
-        "episode": {"episodes_per_s": 1_000.0},
+        "episode": {"episodes_per_s": 1_000.0,
+                    "browser_episodes_per_s": 700.0},
         "catalog": {"build_ms": 2.0, "compressed_token_ratio": 0.92,
                     "minimal_token_ratio": 0.87},
         "grid": {"sequential_s": 0.2, "parallel_s": 0.18, "process_s": 0.5},
@@ -38,7 +39,8 @@ def _report(**overrides) -> dict:
                     "speedup_vs_sequential": 2.2,
                     "chaos": {"success_rate": 1.0},
                     "obs": {"req_per_s_sample_1": 1_800.0},
-                    "http": {"req_per_s": 800.0}},
+                    "http": {"req_per_s": 800.0},
+                    "engine_overhead": {"engined_episodes_per_s": 990.0}},
     }
     for dotted, value in overrides.items():
         *path, metric = dotted.split(".")
@@ -193,6 +195,10 @@ def test_bench_main_writes_guarded_shape(tmp_path, monkeypatch, capsys):
     monkeypatch.setattr(bench, "bench_serving_http", lambda: {
         **stub["serving"]["http"],
         "p95_ms": 12.0, "mean_batch_size": 4.5,
+    })
+    monkeypatch.setattr(bench, "bench_engine_overhead", lambda repeats: {
+        **stub["serving"]["engine_overhead"],
+        "direct_episodes_per_s": 1_000.0, "overhead_frac": 0.01,
     })
     monkeypatch.setattr(bench, "bench_obs", lambda: {
         **stub["serving"]["obs"],

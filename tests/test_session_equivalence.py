@@ -12,6 +12,7 @@ import pytest
 
 from repro import (
     AgentSpec,
+    EngineSpec,
     build_agent,
     build_gateway,
     build_less_is_more,
@@ -96,6 +97,49 @@ def test_catalog_full_variant_equals_pre_redesign_tool_path(suite_name):
     assert len(old) == len(new) == n_queries
     for old_episode, new_episode in zip(old, new):
         assert old_episode == new_episode
+
+
+class TestSimulatedEngineEquivalence:
+    """The engine boundary is a pure seam: ``engine=simulated`` episodes
+    must equal the engine-less direct path bitwise, on every scheme,
+    both sequential and served — the acceptance criterion for routing
+    the agents' LLM construction through ``repro.engines``."""
+
+    @pytest.mark.parametrize("scheme",
+                             ["default", "gorilla", "lis-k3", "lis-k5"])
+    def test_sequential_bitwise_identical(self, scheme, suite):
+        direct = open_session(suite=suite).run(
+            AgentSpec(scheme=scheme, model=MODEL, quant=QUANT)).episodes
+        engined = open_session(suite=suite).run(
+            AgentSpec(scheme=scheme, model=MODEL, quant=QUANT,
+                      engine=EngineSpec("simulated"))).episodes
+        assert len(direct) == len(engined) == N_QUERIES
+        for direct_episode, engined_episode in zip(direct, engined):
+            assert direct_episode == engined_episode
+
+    def test_served_bitwise_identical(self, suite):
+        import asyncio
+
+        from repro.serving import Gateway, ServingConfig, SessionManager
+
+        reference = {
+            episode.qid: episode
+            for episode in open_session(suite=suite).run(
+                AgentSpec(scheme="lis-k3", model=MODEL, quant=QUANT)).episodes
+        }
+
+        async def serve_all():
+            sessions = SessionManager()
+            sessions.register("t", suite, engine=EngineSpec("simulated"))
+            config = ServingConfig(max_batch_size=4, max_wait_ms=2.0,
+                                   default_scheme="lis-k3",
+                                   default_model=MODEL, default_quant=QUANT)
+            async with Gateway(sessions, config=config) as gateway:
+                return await asyncio.gather(*(
+                    gateway.submit("t", query) for query in suite.queries))
+
+        for response in asyncio.run(serve_all()):
+            assert response.episode == reference[response.episode.qid]
 
 
 class TestDeprecationShims:
