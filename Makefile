@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-process test-chaos examples-smoke serve-smoke serve-smoke-uvicorn bench bench-check bench-serving bench-obs bench-paper
+.PHONY: test test-process test-chaos examples-smoke serve-smoke serve-smoke-uvicorn bench bench-check bench-serving bench-budget bench-obs bench-paper
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -26,6 +26,8 @@ examples-smoke:
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/serving_demo.py
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/catalog_hotswap.py
 	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/tracing_demo.py
+	REPRO_EXAMPLE_QUERIES=4 $(PYTHON) examples/carbon_demo.py
+	$(PYTHON) -m repro carbon --requests 16 --window 4 > /dev/null
 	$(PYTHON) -m repro metrics --requests 8 > /dev/null
 	$(PYTHON) -m repro catalog list
 	$(PYTHON) -m repro catalog show edgehome --variant compressed > /dev/null
@@ -55,6 +57,11 @@ bench-check:
 ## serving-gateway load bench: asserts micro-batched >= 2x sequential
 bench-serving:
 	$(PYTHON) scripts/bench_serving.py
+
+## carbon/power budget bench: asserts budgeted serving spends less
+## energy per request than uncontrolled while goodput stays > 0
+bench-budget:
+	$(PYTHON) scripts/bench_serving.py --budget
 
 ## tracing-overhead bench: asserts full tracing costs < 10% throughput
 ## (--update-baseline refreshes BENCH_perf.json's serving.obs section)

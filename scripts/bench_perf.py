@@ -30,6 +30,7 @@ sys.path.insert(0, str(REPO_ROOT / "scripts"))
 from bench_obs import bench_obs  # noqa: E402
 from bench_serving import (  # noqa: E402
     bench_serving,
+    bench_serving_budget,
     bench_serving_chaos,
     bench_serving_http,
 )
@@ -293,6 +294,9 @@ def collect(repeats: int, grid_queries: int) -> dict:
     # the engine boundary: simulated episodes routed through
     # repro.engines vs the direct path (< 5% asserted inside)
     serving["engine_overhead"] = bench_engine_overhead(repeats)
+    # the carbon/power budget scenario: energy per request under a
+    # self-calibrating joule cap vs uncontrolled, with goodput > 0
+    serving["budget"] = bench_serving_budget()
     return {
         "schema_version": 2,
         "machine": {
@@ -367,6 +371,12 @@ def main(argv: list[str] | None = None) -> int:
               f"through the engine boundary vs "
               f"{engine['direct_episodes_per_s']:.1f} direct "
               f"({engine['overhead_frac']:+.1%} overhead)")
+    budget = serving.get("budget")
+    if budget:
+        print(f"budget : {budget['energy_j_per_req']:.1f} J/req budgeted vs "
+              f"{budget['uncontrolled_energy_j_per_req']:.1f} uncontrolled "
+              f"({budget['energy_reduction']:.0%} saved) at "
+              f"{budget['goodput_rps']:.0f} req/s goodput")
     obs = serving.get("obs")
     if obs:
         print(f"obs    : {obs['req_per_s_sample_1']:.0f} req/s fully traced "

@@ -42,12 +42,13 @@ from repro.serving import (  # noqa: E402
     HTTPConnection,
     LoadReport,
     SessionManager,
+    TenantShedError,
     make_workload,
     percentile,
     run_load,
     serve_gateway,
 )
-from repro.specs import HttpSpec, ObsSpec, ServingSpec  # noqa: E402
+from repro.specs import BudgetSpec, HttpSpec, ObsSpec, ServingSpec  # noqa: E402
 from repro.suites import load_suite  # noqa: E402
 
 #: Required batched/sequential throughput ratio (the PR's acceptance bar).
@@ -201,6 +202,102 @@ def bench_serving_chaos(n_requests: int = 64, concurrency: int = 8,
     }
 
 
+def _run_budget_waves(suite, suite_name: str, embedder, n_requests: int,
+                      window: int, config) -> tuple[int, int, float, dict]:
+    """Serve ``n_requests`` in waves of ``window`` with one budget tick
+    between waves; returns (served, shed, wall_s, gateway metrics).
+
+    Wave-driven ticking (instead of the controller's wall-clock loop)
+    makes the ladder descent deterministic, so the guarded numbers do
+    not depend on how fast this machine drains the queue.
+    """
+
+    async def scenario():
+        sessions = SessionManager(embedder=embedder)
+        sessions.register(suite_name, suite)
+        queries = suite.queries
+        async with Gateway(sessions, config=config) as gateway:
+            served = shed = 0
+            start = time.perf_counter()
+            for wave in range(0, n_requests, window):
+                batch = [queries[(wave + i) % len(queries)]
+                         for i in range(min(window, n_requests - wave))]
+                outcomes = await asyncio.gather(*(
+                    gateway.submit(suite_name, query) for query in batch),
+                    return_exceptions=True)
+                for outcome in outcomes:
+                    if isinstance(outcome, TenantShedError):
+                        shed += 1
+                    elif isinstance(outcome, BaseException):
+                        raise outcome
+                    else:
+                        served += 1
+                if gateway.budget is not None:
+                    gateway.budget.tick()
+            wall_s = time.perf_counter() - start
+            return served, shed, wall_s, gateway.metrics()
+
+    return asyncio.run(scenario())
+
+
+def bench_serving_budget(n_requests: int = 96, window: int = 8,
+                         max_batch_size: int = 8,
+                         budget_fraction: float = 0.6,
+                         suite_name: str = "edgehome") -> dict:
+    """Energy-per-request under a self-calibrating joule budget.
+
+    Runs the same wave-driven workload twice over warmed caches:
+    uncontrolled first (to measure the baseline mean joules per
+    request), then under a :class:`BudgetSpec` capped at
+    ``budget_fraction`` of that baseline.  The budget controller must
+    step the tenant down the ladder far enough that mean energy per
+    *served* request drops below the uncontrolled mean while goodput
+    stays above zero — the subsystem's acceptance criterion, guarded in
+    ``BENCH_perf.json`` as ``serving.budget.goodput_rps`` (higher is
+    better) and ``serving.budget.energy_j_per_req`` (lower is better).
+    """
+    suite = load_suite(suite_name)
+    embedder = CachedEmbedder()
+    base_config = ServingSpec(max_batch_size=max_batch_size,
+                              max_wait_ms=2.0).to_config()
+    # untimed warmup cycle (vocabulary ramp, plan paths)
+    _run_budget_waves(suite, suite_name, embedder, len(suite.queries),
+                      window, base_config)
+
+    served, _, wall_s, metrics = _run_budget_waves(
+        suite, suite_name, embedder, n_requests, window, base_config)
+    uncontrolled_j = metrics["energy_j"] / served
+
+    budget_j = uncontrolled_j * budget_fraction
+    spec = BudgetSpec(energy_budget_j=budget_j, window_requests=window,
+                      settle_requests=window, recovery_ticks=2,
+                      interval_ms=3_600_000.0)
+    ctl_config = ServingSpec(max_batch_size=max_batch_size,
+                             max_wait_ms=2.0, budget=spec).to_config()
+    ctl_served, ctl_shed, ctl_wall_s, ctl_metrics = _run_budget_waves(
+        suite, suite_name, embedder, n_requests, window, ctl_config)
+    assert ctl_served > 0, "budget run shed every request (goodput 0)"
+    controlled_j = ctl_metrics["energy_j"] / ctl_served
+
+    return {
+        "suite": suite_name,
+        "n_requests": n_requests,
+        "window_requests": window,
+        "budget_fraction": budget_fraction,
+        "budget_j_per_req": budget_j,
+        "uncontrolled_energy_j_per_req": uncontrolled_j,
+        "uncontrolled_goodput_rps": served / wall_s,
+        "energy_j_per_req": controlled_j,
+        "energy_reduction": 1.0 - controlled_j / uncontrolled_j,
+        "goodput_rps": ctl_served / ctl_wall_s,
+        "served": ctl_served,
+        "shed": ctl_shed,
+        "carbon_g_per_req": ctl_metrics["carbon_g"] / ctl_served,
+        "budget_transitions": ctl_metrics["budget_transitions"],
+        "budget_transitions_detail": ctl_metrics["budget_transitions_detail"],
+    }
+
+
 def bench_serving_http(n_requests: int = 256, concurrency: int = 8,
                        max_batch_size: int = 32, max_wait_ms: float = 2.0,
                        suite_name: str = "edgehome") -> dict:
@@ -323,6 +420,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--http", action="store_true",
                         help="drive the HTTP front door over real sockets "
                              "instead of the in-process gateway")
+    parser.add_argument("--budget", action="store_true",
+                        help="run the carbon/power budget scenario: "
+                             "energy per request under a self-calibrating "
+                             "joule cap vs uncontrolled")
     parser.add_argument("--seed", type=int, default=0,
                         help="FaultPlan seed for --chaos")
     parser.add_argument("--trace-out", default="/tmp/serving_chaos_trace.jsonl",
@@ -347,6 +448,31 @@ def main(argv: list[str] | None = None) -> int:
         if args.output:
             Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
             print(f"wrote {args.output}")
+        return 0
+
+    if args.budget:
+        row = bench_serving_budget(suite_name=args.suite)
+        print(f"serving budget ({row['suite']}, {row['n_requests']} requests, "
+              f"window {row['window_requests']}, cap "
+              f"{row['budget_fraction']:.0%} of uncontrolled):")
+        print(f"  uncontrolled : {row['uncontrolled_energy_j_per_req']:7.1f} "
+              f"J/req at {row['uncontrolled_goodput_rps']:6.0f} req/s")
+        print(f"  budgeted     : {row['energy_j_per_req']:7.1f} J/req at "
+              f"{row['goodput_rps']:6.0f} req/s  "
+              f"({row['energy_reduction']:.0%} energy saved, "
+              f"{row['served']} served / {row['shed']} shed)")
+        print(f"  controller   : {row['budget_transitions']} transitions "
+              f"{row['budget_transitions_detail']}")
+        if args.output:
+            Path(args.output).write_text(json.dumps(row, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        if not args.no_assert:
+            assert row["energy_reduction"] > 0.0, (
+                f"budget controller failed to reduce energy per request "
+                f"({row['energy_j_per_req']:.1f} J/req vs uncontrolled "
+                f"{row['uncontrolled_energy_j_per_req']:.1f} J/req)")
+            print("OK: budgeted serving spends less energy per request "
+                  "with goodput > 0")
         return 0
 
     if args.chaos:

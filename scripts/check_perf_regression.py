@@ -60,6 +60,11 @@ TRACKED_METRICS = [
     # repro.engines must keep pace with the direct path (bench_perf
     # additionally hard-asserts the gap below 5% while measuring)
     ("serving.engine_overhead", "engined_episodes_per_s", True),
+    # carbon/power budget invariants: the controller must keep spending
+    # less energy per request than uncontrolled serving while goodput
+    # stays positive; served/shed counts ride along unguarded
+    ("serving.budget", "goodput_rps", True),
+    ("serving.budget", "energy_j_per_req", False),
 ]
 
 

@@ -29,6 +29,7 @@ _LAZY_EXPORTS = {
     "open_session": ("repro.session", "open_session"),
     "Session": ("repro.session", "Session"),
     "AgentSpec": ("repro.specs", "AgentSpec"),
+    "BudgetSpec": ("repro.specs", "BudgetSpec"),
     "CatalogSpec": ("repro.specs", "CatalogSpec"),
     "EngineSpec": ("repro.specs", "EngineSpec"),
     "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
@@ -49,6 +50,12 @@ _LAZY_EXPORTS = {
     "register_serving_backend": ("repro.registry", "register_serving_backend"),
     "register_catalog": ("repro.registry", "register_catalog"),
     "register_engine": ("repro.registry", "register_engine"),
+    "register_carbon_signal": ("repro.registry", "register_carbon_signal"),
+    # carbon/power-aware serving
+    "BudgetController": ("repro.power", "BudgetController"),
+    "BudgetPolicy": ("repro.power", "BudgetPolicy"),
+    "EnergyMeter": ("repro.power", "EnergyMeter"),
+    "load_intensity_trace": ("repro.power", "load_intensity_trace"),
     "build_engine_llm": ("repro.engines", "build_engine_llm"),
     # the HTTP front door
     "create_app": ("repro.serving.http", "create_app"),

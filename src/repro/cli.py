@@ -10,6 +10,7 @@ Commands
 ``profile``    cost one hypothetical function-calling turn on the Orin
 ``metrics``    serve a short load, print Prometheus text exposition
 ``chaos``      serve a workload under seeded fault injection
+``carbon``     compare uncontrolled vs carbon/power-budgeted serving
 ``serve``      boot the HTTP front door over registered tenant suites
 
 Every evaluation command builds a typed spec (:mod:`repro.specs`) and
@@ -33,7 +34,9 @@ Examples::
     python -m repro profile --tools 46 --window 16384 --quant q4_K_M
     python -m repro metrics --suite edgehome --requests 16
     python -m repro chaos --process --trace-out /tmp/chaos_trace.jsonl
-    python -m repro serve --tenants edgehome,bfcl --port 8080
+    python -m repro carbon --suite edgehome --requests 48
+    python -m repro serve --tenants edgehome,bfcl --port 8080 \
+        --carbon-budget 180
 """
 
 from __future__ import annotations
@@ -313,6 +316,89 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_carbon(args: argparse.Namespace) -> int:
+    """Serve the same load twice — uncontrolled, then under a joule
+    budget — and print the energy/carbon ledger of both.
+
+    Requests go through the gateway in waves of ``--window`` with one
+    controller tick between waves, so the descent down the ladder is
+    deterministic and visible.  With no explicit ``--budget`` the cap
+    self-calibrates to ``--budget-fraction`` of the uncontrolled mean,
+    so the command always demonstrates the controller controlling.
+    """
+    import asyncio
+    import time
+
+    from repro.serving import Gateway, ServingConfig, SessionManager, \
+        TenantShedError
+    from repro.specs import BudgetSpec
+    from repro.suites import load_suite
+
+    suite = load_suite(args.suite)
+    queries = suite.queries
+
+    def run(spec: "BudgetSpec | None"):
+        async def scenario():
+            sessions = SessionManager()
+            sessions.register(args.suite, suite)
+            config = ServingConfig(max_batch_size=args.batch_size,
+                                   max_wait_ms=2.0, budget=spec)
+            async with Gateway(sessions, config=config) as gateway:
+                start = time.perf_counter()
+                served = 0
+                for wave in range(0, args.requests, args.window):
+                    n = min(args.window, args.requests - wave)
+                    batch = [queries[(wave + i) % len(queries)]
+                             for i in range(n)]
+                    outcomes = await asyncio.gather(*(
+                        gateway.submit(args.suite, query)
+                        for query in batch), return_exceptions=True)
+                    for outcome in outcomes:
+                        # a tight budget may legitimately shed; anything
+                        # else is a real failure
+                        if isinstance(outcome, TenantShedError):
+                            continue
+                        if isinstance(outcome, BaseException):
+                            raise outcome
+                        served += 1
+                    if gateway.budget is not None:
+                        gateway.budget.tick()
+                wall = time.perf_counter() - start
+                return served, served / wall, gateway.metrics()
+
+        served, goodput, metrics = asyncio.run(scenario())
+        return served, goodput, metrics, (metrics["energy_j"] / served,
+                                          metrics["carbon_g"] / served)
+
+    served, goodput, _, (base_j, base_g) = run(None)
+    print(f"uncontrolled: {served}/{args.requests} req at "
+          f"{goodput:.1f} req/s | "
+          f"{base_j:.1f} J/req | {base_g * 1e3:.2f} mgCO2/req")
+
+    budget_j = (args.budget if args.budget is not None
+                else base_j * args.budget_fraction)
+    spec = BudgetSpec(
+        energy_budget_j=budget_j,
+        window_requests=args.window, settle_requests=args.window,
+        recovery_ticks=2, interval_ms=3_600_000.0,
+        signal=args.signal, trace_path=args.trace_path,
+        intensity_g_per_kwh=args.intensity,
+        intensity_high=args.intensity_high)
+    served, goodput, metrics, (ctl_j, ctl_g) = run(spec)
+    saved = (1.0 - ctl_j / base_j) if base_j > 0 else 0.0
+    print(f"budget {budget_j:.1f} J/req: {served}/{args.requests} req at "
+          f"{goodput:.1f} req/s | {ctl_j:.1f} J/req | "
+          f"{ctl_g * 1e3:.2f} mgCO2/req ({saved:.0%} energy saved)")
+    detail = metrics["budget_transitions_detail"]
+    ladder = {key: count for key, count in sorted(detail.items())
+              if not key.startswith("device:")}
+    modes = {key: count for key, count in sorted(detail.items())
+             if key.startswith("device:")}
+    print(f"  ladder moves: {ladder or 'none'}")
+    print(f"  power-mode moves: {modes or 'none'}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the HTTP front door (``repro.serving.http``) and serve.
 
@@ -342,6 +428,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             plan_cache_size=args.plan_cache,
             timeout_ms=args.timeout_ms,
         )
+    if args.carbon_budget is not None:
+        from repro.specs import BudgetSpec
+
+        serving = serving.replace(
+            budget=BudgetSpec(energy_budget_j=args.carbon_budget))
     http = serving.http if serving.http is not None else HttpSpec()
     if args.host is not None:
         http = http.replace(host=args.host)
@@ -488,6 +579,34 @@ def build_parser() -> argparse.ArgumentParser:
                                    "injected faults appear as span events")
     chaos_parser.set_defaults(func=cmd_chaos)
 
+    carbon_parser = sub.add_parser(
+        "carbon", help="uncontrolled vs carbon/power-budgeted serving")
+    carbon_parser.add_argument("--suite", default="edgehome")
+    carbon_parser.add_argument("--requests", type=int, default=48)
+    carbon_parser.add_argument("--concurrency", type=int, default=8)
+    carbon_parser.add_argument("--batch-size", type=int, default=8)
+    carbon_parser.add_argument("--window", type=int, default=8,
+                               help="rolling budget window (requests)")
+    carbon_parser.add_argument("--budget", type=float, default=None,
+                               metavar="J_PER_REQ",
+                               help="joules-per-request cap (default: "
+                                    "--budget-fraction of uncontrolled)")
+    carbon_parser.add_argument("--budget-fraction", type=float, default=0.6,
+                               help="self-calibrated cap as a fraction of "
+                                    "the uncontrolled mean")
+    carbon_parser.add_argument("--signal", default="static",
+                               help="registered carbon signal "
+                                    "(static, sinusoid, trace, ...)")
+    carbon_parser.add_argument("--trace-path", default=None, metavar="CSV",
+                               help="grid-intensity CSV for --signal trace")
+    carbon_parser.add_argument("--intensity", type=float, default=400.0,
+                               help="grid intensity in gCO2/kWh (static "
+                                    "signal / sinusoid mean)")
+    carbon_parser.add_argument("--intensity-high", type=float, default=None,
+                               help="step the board down power modes at or "
+                                    "above this intensity")
+    carbon_parser.set_defaults(func=cmd_carbon)
+
     serve_parser = sub.add_parser(
         "serve", help="boot the HTTP front door over tenant suites")
     serve_parser.add_argument("--tenants", default="edgehome",
@@ -507,6 +626,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="plan-result memoization entries")
     serve_parser.add_argument("--timeout-ms", type=float, default=None,
                               help="end-to-end per-request deadline")
+    serve_parser.add_argument("--carbon-budget", type=float, default=None,
+                              metavar="J_PER_REQ",
+                              help="enable the carbon/power budget "
+                                   "controller with this rolling "
+                                   "joules-per-request cap")
     serve_parser.add_argument("--uvicorn", action="store_true",
                               help="serve through uvicorn (optional extra) "
                                    "instead of the builtin asyncio server")

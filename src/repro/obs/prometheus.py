@@ -145,6 +145,12 @@ def render_prometheus(snapshot: dict, cost: dict | None = None,
          "Requests rejected while their tenant was shed, per tenant."),
         ("faults_injected_total", "faults_injected_by_hook", "hook",
          "Chaos faults fired, per fault hook."),
+        ("energy_joules_total", "energy_j_by_tenant", "tenant",
+         "Estimated energy attributed to served requests, per tenant "
+         "(joules; accounting-layer re-cost under the active power mode)."),
+        ("carbon_grams_total", "carbon_g_by_tenant", "tenant",
+         "Estimated operational carbon attributed to served requests, "
+         "per tenant (gCO2 via the configured grid-intensity signal)."),
     ]
     for name, key, label, help_text in labeled:
         by = snapshot.get(key)
@@ -163,6 +169,19 @@ def render_prometheus(snapshot: dict, cost: dict | None = None,
             out.sample(full, transitions[key],
                        {"tenant": tenant, "direction": direction,
                         "rung": rung})
+
+    budget_transitions = snapshot.get("budget_transitions_detail")
+    if budget_transitions:
+        full = out.family(
+            "budget_transitions_total", "counter",
+            "Carbon/power budget-controller actions, per "
+            "scope/direction/target (tenant ladder moves and device "
+            "power-mode moves).")
+        for key in sorted(budget_transitions):
+            scope, direction, target = (key.split(":", 2) + ["", ""])[:3]
+            out.sample(full, budget_transitions[key],
+                       {"scope": scope, "direction": direction,
+                        "target": target})
 
     # ------------------------------------------------------------------
     # batch-size histogram (cumulative, monotonic buckets)

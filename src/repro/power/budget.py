@@ -1,0 +1,335 @@
+"""Carbon/power budget control: drive the degradation ladder from joules.
+
+CarbonCall's (arXiv 2504.20348) other half: where
+:class:`~repro.serving.degrade.DegradationController` steps tenants down
+the serving ladder on *queue pressure*, the :class:`BudgetController`
+steps them down on a *power/carbon budget* — a rolling
+joules-per-request or gCO₂-per-request cap read from the
+:class:`~repro.power.meter.EnergyMeter` — and additionally steps the
+simulated board down nvpmodel power modes (MAXN → 30W → 15W) while the
+grid's carbon intensity is high, climbing back with hysteresis once it
+clears.
+
+Both controllers write through the gateway's shared
+:class:`~repro.serving.degrade.LadderArbiter` under distinct source
+names, so they compose instead of fighting: the deeper desire wins, the
+effective rung moves at most when a desire changes, and transition
+counts cannot oscillate between two disagreeing controllers.
+
+Like the pressure controller, the core is a synchronous :meth:`tick`
+(pass ``now_s`` to drive the carbon signal without any clock);
+:meth:`run` is the thin async loop the gateway starts when configured
+with a :class:`~repro.specs.BudgetSpec`.
+
+Budget windows are request-count based (the last ``window_requests``
+attributed requests per tenant), not wall-time based, so tests drive
+the whole control loop deterministically.  After any ladder move the
+controller waits for ``settle_requests`` fresh records before acting on
+that tenant again — the window must re-fill with evidence from the new
+rung, which is what prevents a stale window from racing a tenant all
+the way down the ladder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+#: the nvpmodel ladder, fastest first (mirrors
+#: :data:`repro.hardware.power_modes.POWER_MODES`)
+MODE_LADDER = ("MAXN", "30W", "15W")
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Thresholds and knobs of the carbon/power budget loop.
+
+    Parameters
+    ----------
+    energy_budget_j:
+        Rolling-mean joules per request a tenant may spend before being
+        stepped down a rung; ``None`` disables the energy budget.
+    carbon_budget_g:
+        Rolling-mean gCO₂ per request cap; ``None`` disables it.  At
+        least one of the two budgets or ``intensity_high`` must be set.
+    window_requests:
+        How many recent requests the rolling means cover.
+    settle_requests:
+        Fresh records required after a ladder move before the tenant is
+        judged again (default: ``window_requests`` — a full new window).
+    recovery_ticks:
+        Consecutive under-budget ticks required before stepping a tenant
+        back up (and low-intensity ticks before stepping the power mode
+        back up).
+    recovery_margin:
+        Recovery additionally requires the rolling mean below
+        ``budget * recovery_margin`` — the hysteresis band that keeps a
+        tenant hovering at the cap from flapping.
+    intensity_high / intensity_low:
+        gCO₂/kWh thresholds for the power-mode ladder: at or above
+        ``intensity_high`` each tick steps the simulated board down one
+        nvpmodel mode; at or below ``intensity_low`` (default
+        ``intensity_high * recovery_margin``) ticks count toward
+        climbing back.  ``None`` disables mode stepping.
+    min_power_mode:
+        Deepest mode the controller may select (``"15W"`` allows the
+        full MAXN → 30W → 15W descent; ``"MAXN"`` pins the board).
+    interval_ms:
+        Poll period of the async :meth:`BudgetController.run` loop.
+    """
+
+    energy_budget_j: float | None = None
+    carbon_budget_g: float | None = None
+    window_requests: int = 32
+    settle_requests: int | None = None
+    recovery_ticks: int = 3
+    recovery_margin: float = 0.8
+    intensity_high: float | None = None
+    intensity_low: float | None = None
+    min_power_mode: str = "15W"
+    interval_ms: float = 100.0
+
+    def __post_init__(self):
+        if (self.energy_budget_j is None and self.carbon_budget_g is None
+                and self.intensity_high is None):
+            raise ValueError(
+                "BudgetPolicy needs at least one control: energy_budget_j, "
+                "carbon_budget_g or intensity_high")
+        if self.energy_budget_j is not None and self.energy_budget_j <= 0.0:
+            raise ValueError(
+                f"energy_budget_j must be > 0 (or None), "
+                f"got {self.energy_budget_j}")
+        if self.carbon_budget_g is not None and self.carbon_budget_g <= 0.0:
+            raise ValueError(
+                f"carbon_budget_g must be > 0 (or None), "
+                f"got {self.carbon_budget_g}")
+        if self.window_requests < 1:
+            raise ValueError(
+                f"window_requests must be >= 1, got {self.window_requests}")
+        if self.settle_requests is None:
+            object.__setattr__(self, "settle_requests", self.window_requests)
+        if self.settle_requests < 1:
+            raise ValueError(
+                f"settle_requests must be >= 1, got {self.settle_requests}")
+        if self.recovery_ticks < 1:
+            raise ValueError(
+                f"recovery_ticks must be >= 1, got {self.recovery_ticks}")
+        if not 0.0 < self.recovery_margin <= 1.0:
+            raise ValueError(
+                f"recovery_margin must be in (0, 1], "
+                f"got {self.recovery_margin}")
+        if self.intensity_high is not None:
+            if self.intensity_high <= 0.0:
+                raise ValueError(
+                    f"intensity_high must be > 0 (or None), "
+                    f"got {self.intensity_high}")
+            if self.intensity_low is None:
+                object.__setattr__(self, "intensity_low",
+                                   self.intensity_high * self.recovery_margin)
+            if not 0.0 <= self.intensity_low < self.intensity_high:
+                raise ValueError(
+                    f"intensity_low must be in [0, intensity_high), "
+                    f"got {self.intensity_low}")
+        elif self.intensity_low is not None:
+            raise ValueError("intensity_low requires intensity_high")
+        if self.min_power_mode not in MODE_LADDER:
+            raise ValueError(
+                f"min_power_mode must be one of {MODE_LADDER}, "
+                f"got {self.min_power_mode!r}")
+        if self.interval_ms <= 0.0:
+            raise ValueError(
+                f"interval_ms must be > 0, got {self.interval_ms}")
+
+    @property
+    def interval_s(self) -> float:
+        return self.interval_ms / 1e3
+
+    @classmethod
+    def from_spec(cls, spec) -> "BudgetPolicy":
+        """The runtime policy equivalent of a :class:`~repro.specs.BudgetSpec`."""
+        return cls(
+            energy_budget_j=spec.energy_budget_j,
+            carbon_budget_g=spec.carbon_budget_g,
+            window_requests=spec.window_requests,
+            settle_requests=spec.settle_requests,
+            recovery_ticks=spec.recovery_ticks,
+            recovery_margin=spec.recovery_margin,
+            intensity_high=spec.intensity_high,
+            intensity_low=spec.intensity_low,
+            min_power_mode=spec.min_power_mode,
+            interval_ms=spec.interval_ms,
+        )
+
+
+class BudgetController:
+    """Steps tenants down the ladder and the board down power modes.
+
+    One controller per gateway, sharing the gateway's
+    :class:`~repro.serving.degrade.LadderArbiter` (source ``"budget"``)
+    with the queue-pressure controller and its
+    :class:`~repro.power.meter.EnergyMeter` with the accounting layer.
+    Every action lands in telemetry as a ``budget_transitions`` entry
+    (``<tenant>:<direction>:<rung>`` for ladder moves,
+    ``device:<direction>:<mode>`` for power-mode moves).
+    """
+
+    SOURCE = "budget"
+
+    def __init__(self, gateway, policy: BudgetPolicy, meter=None,
+                 signal=None, clock=None):
+        self.gateway = gateway
+        self.policy = policy
+        self.meter = meter if meter is not None else gateway.power_meter
+        self.signal = signal if signal is not None else self.meter.signal
+        self._clock = clock if clock is not None else self.meter.now
+        self._mode_index = 0
+        self._mode_floor = MODE_LADDER.index(policy.min_power_mode)
+        self._mode_clear_streak = 0
+        self._tenant_clear_streak: dict[str, int] = {}
+        self._shed_streak: dict[str, int] = {}
+        #: per-tenant total_requests watermark at the last ladder move
+        self._settle_marks: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def power_mode(self) -> str:
+        return MODE_LADDER[self._mode_index]
+
+    def status(self) -> dict:
+        """Controller state for operators: mode plus per-tenant desires."""
+        arbiter = self.gateway.ladder
+        tenants = {}
+        for tenant in self.gateway.sessions.tenant_names:
+            ladder = arbiter.ladder(tenant)
+            desired = arbiter.desired_index(self.SOURCE, tenant)
+            tenants[tenant] = {
+                "desired_rung": ladder[min(desired, len(ladder) - 1)],
+                "effective_rung": arbiter.rung(tenant),
+                "rung_source": arbiter.rung_source(tenant),
+            }
+        return {"power_mode": self.power_mode, "tenants": tenants}
+
+    # ------------------------------------------------------------------
+    # the feedback loop
+    # ------------------------------------------------------------------
+    def tick(self, now_s: float | None = None) -> None:
+        """One control step; pass ``now_s`` to drive it without a clock."""
+        t_s = self._clock() if now_s is None else now_s
+        intensity = self.signal.intensity(t_s)
+        self._tick_power_mode(intensity)
+        if (self.policy.energy_budget_j is not None
+                or self.policy.carbon_budget_g is not None):
+            for tenant in self.gateway.sessions.tenant_names:
+                self._tick_tenant(tenant)
+
+    async def run(self) -> None:
+        """Poll-and-tick loop; cancelled by ``Gateway.stop``.
+
+        Ticks run on a worker thread for the same reason the pressure
+        controller's do: a variant downshift re-indexes Search Levels
+        and must not stall the event loop's admissions.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.policy.interval_s)
+            await loop.run_in_executor(None, self.tick)
+
+    # ------------------------------------------------------------------
+    # power-mode ladder
+    # ------------------------------------------------------------------
+    def _tick_power_mode(self, intensity: float) -> None:
+        policy = self.policy
+        if policy.intensity_high is None:
+            return
+        if intensity >= policy.intensity_high:
+            self._mode_clear_streak = 0
+            if self._mode_index < self._mode_floor:
+                self._set_mode(self._mode_index + 1, "down")
+        elif intensity <= policy.intensity_low:
+            self._mode_clear_streak += 1
+            if self._mode_clear_streak >= policy.recovery_ticks:
+                self._mode_clear_streak = 0
+                if self._mode_index > 0:
+                    self._set_mode(self._mode_index - 1, "up")
+        else:
+            # in-between band: hold the mode, restart the recovery streak
+            self._mode_clear_streak = 0
+
+    def _set_mode(self, index: int, direction: str) -> None:
+        self._mode_index = index
+        mode = MODE_LADDER[index]
+        self.meter.set_power_mode(mode)
+        self.gateway.telemetry.record_budget_transition(
+            "device", mode, direction)
+        tracer = getattr(self.gateway, "tracer", None)
+        if tracer is not None:
+            tracer.marker("budget", {"scope": "device", "power_mode": mode,
+                                     "direction": direction})
+
+    # ------------------------------------------------------------------
+    # per-tenant budget ladder
+    # ------------------------------------------------------------------
+    def _tick_tenant(self, tenant: str) -> None:
+        policy = self.policy
+        arbiter = self.gateway.ladder
+        ladder = arbiter.ladder(tenant)
+        desired = arbiter.desired_index(self.SOURCE, tenant)
+        if ladder[min(desired, len(ladder) - 1)] == "shed":
+            # a shed tenant generates no fresh evidence: probation —
+            # after recovery_ticks quiet ticks, try one rung up
+            streak = self._shed_streak.get(tenant, 0) + 1
+            if streak >= policy.recovery_ticks:
+                self._shed_streak[tenant] = 0
+                self._step(tenant, -1)
+            else:
+                self._shed_streak[tenant] = streak
+            return
+        self._shed_streak[tenant] = 0
+        stats = self.meter.window_stats(tenant)
+        if stats.requests == 0:
+            return
+        fresh = stats.total_requests - self._settle_marks.get(tenant, 0)
+        if fresh < min(policy.settle_requests, policy.window_requests):
+            return  # the window hasn't refilled since the last move
+        over = False
+        under = True
+        if policy.energy_budget_j is not None:
+            over = over or stats.mean_energy_j > policy.energy_budget_j
+            under = under and (stats.mean_energy_j
+                               <= policy.energy_budget_j
+                               * policy.recovery_margin)
+        if policy.carbon_budget_g is not None:
+            over = over or stats.mean_carbon_g > policy.carbon_budget_g
+            under = under and (stats.mean_carbon_g
+                               <= policy.carbon_budget_g
+                               * policy.recovery_margin)
+        if over:
+            self._tenant_clear_streak[tenant] = 0
+            self._step(tenant, +1)
+        elif under and desired > 0:
+            streak = self._tenant_clear_streak.get(tenant, 0) + 1
+            if streak >= policy.recovery_ticks:
+                self._tenant_clear_streak[tenant] = 0
+                self._step(tenant, -1)
+            else:
+                self._tenant_clear_streak[tenant] = streak
+        else:
+            # within the hysteresis band: hold, restart the streak
+            self._tenant_clear_streak[tenant] = 0
+
+    def _step(self, tenant: str, direction: int) -> None:
+        arbiter = self.gateway.ladder
+        new_rung = arbiter.step(self.SOURCE, tenant, direction)
+        if new_rung is None:
+            return  # clamped at a ladder edge, nothing moved
+        self._settle_marks[tenant] = (
+            self.meter.window_stats(tenant).total_requests)
+        direction_name = "down" if direction > 0 else "up"
+        self.gateway.telemetry.record_budget_transition(
+            tenant, new_rung, direction_name)
+        tracer = getattr(self.gateway, "tracer", None)
+        if tracer is not None:
+            tracer.marker("budget", {"scope": tenant, "rung": new_rung,
+                                     "direction": direction_name})

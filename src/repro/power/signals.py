@@ -1,0 +1,237 @@
+"""Grid carbon-intensity signals for carbon-aware serving.
+
+A carbon signal maps a point in time to the grid's carbon intensity in
+gCO₂ per kWh.  Signals are *pure functions of time* — they hold no
+clock of their own, so the same ``intensity(t_s)`` call always returns
+the same value (the determinism contract).  Whoever consumes a signal
+(:class:`~repro.power.meter.EnergyMeter`,
+:class:`~repro.power.budget.BudgetController`) owns the injectable
+clock that produces ``t_s``.
+
+Three builtins ship behind the :data:`repro.registry.CARBON_SIGNALS`
+registry:
+
+``static``
+    A constant intensity — the simplest budget scenario, and what a
+    deployment without a grid feed would configure.
+``sinusoid``
+    A synthetic diurnal curve: mean ± amplitude over a configurable
+    period, a stand-in for the day/night swing of a solar-heavy grid.
+``trace``
+    Replays a committed grid-intensity CSV
+    (``benchmarks/data/grid_intensity_day.csv`` ships a real-shaped
+    duck curve) cyclically with piecewise-linear interpolation.
+
+Registered factories take the :class:`~repro.specs.BudgetSpec` (or any
+object with the same attributes) and return a signal; third-party
+signals register with :func:`repro.registry.register_carbon_signal`.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.registry import register_carbon_signal
+
+#: gCO₂/kWh default when no signal is configured — roughly a mixed
+#: fossil/renewables grid annual average
+DEFAULT_INTENSITY_G_PER_KWH = 400.0
+
+#: expected header of a grid-intensity trace CSV
+TRACE_HEADER = ("hour", "intensity_g_per_kwh")
+
+#: seconds per replayed day of a trace signal
+DAY_S = 86400.0
+
+
+@dataclass(frozen=True)
+class StaticSignal:
+    """A constant grid intensity (gCO₂/kWh)."""
+
+    intensity_g_per_kwh: float = DEFAULT_INTENSITY_G_PER_KWH
+
+    def __post_init__(self):
+        if self.intensity_g_per_kwh < 0.0:
+            raise ValueError(
+                f"intensity_g_per_kwh must be >= 0, "
+                f"got {self.intensity_g_per_kwh}")
+
+    def intensity(self, t_s: float) -> float:
+        return self.intensity_g_per_kwh
+
+
+@dataclass(frozen=True)
+class SinusoidSignal:
+    """A synthetic diurnal curve: ``mean + amplitude * sin(...)``.
+
+    ``t_s = phase_s`` sits at the mean on the way up; the curve peaks a
+    quarter period later.  Values clamp at zero (a grid cannot emit
+    negative carbon).
+    """
+
+    mean_g_per_kwh: float = DEFAULT_INTENSITY_G_PER_KWH
+    amplitude_g_per_kwh: float = 150.0
+    period_s: float = DAY_S
+    phase_s: float = 0.0
+
+    def __post_init__(self):
+        if self.mean_g_per_kwh < 0.0:
+            raise ValueError(
+                f"mean_g_per_kwh must be >= 0, got {self.mean_g_per_kwh}")
+        if self.amplitude_g_per_kwh < 0.0:
+            raise ValueError(
+                f"amplitude_g_per_kwh must be >= 0, "
+                f"got {self.amplitude_g_per_kwh}")
+        if self.period_s <= 0.0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+
+    def intensity(self, t_s: float) -> float:
+        angle = 2.0 * math.pi * (t_s - self.phase_s) / self.period_s
+        return max(0.0, self.mean_g_per_kwh
+                   + self.amplitude_g_per_kwh * math.sin(angle))
+
+
+class TraceSignal:
+    """Cyclic replay of ``(t_s, intensity)`` breakpoints.
+
+    Intensity between breakpoints is linearly interpolated; past the
+    last breakpoint the curve wraps to the first one ``period_s``
+    seconds after it started, so a 24-hour trace replays forever.
+    """
+
+    def __init__(self, points: list[tuple[float, float]],
+                 period_s: float = DAY_S):
+        if not points:
+            raise ValueError("TraceSignal needs at least one (t, intensity) point")
+        if period_s <= 0.0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        times = [float(t) for t, _ in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("TraceSignal times must be strictly increasing")
+        if times[0] < 0.0 or times[-1] >= period_s:
+            raise ValueError(
+                f"TraceSignal times must lie in [0, period_s), got "
+                f"[{times[0]}, {times[-1]}] against period {period_s}")
+        for t, value in points:
+            if value < 0.0:
+                raise ValueError(
+                    f"intensity must be >= 0, got {value} at t={t}")
+        self.points = [(float(t), float(v)) for t, v in points]
+        self.period_s = float(period_s)
+
+    def intensity(self, t_s: float) -> float:
+        points = self.points
+        if len(points) == 1:
+            return points[0][1]
+        t = t_s % self.period_s
+        # find the segment [points[i], points[i+1]) containing t, with
+        # the wrap segment [last, first + period) closing the cycle
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t0 <= t < t1:
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        t0, v0 = points[-1]
+        t1, v1 = points[0][0] + self.period_s, points[0][1]
+        if t < t0:  # before the first breakpoint: still the wrap segment
+            t += self.period_s
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+def load_intensity_trace(path: str | Path) -> TraceSignal:
+    """Load a grid-intensity CSV (``hour,intensity_g_per_kwh``) as a signal.
+
+    The committed trace lives at ``benchmarks/data/grid_intensity_day.csv``.
+    Hours may be fractional but must be strictly increasing within
+    ``[0, 24)``; every malformed row fails with its line number and
+    content so a broken feed is diagnosable from the error alone.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValueError(f"grid-intensity trace not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file; expected header "
+                             f"{','.join(TRACE_HEADER)}") from None
+        if tuple(column.strip() for column in header) != TRACE_HEADER:
+            raise ValueError(
+                f"{path}: bad header {','.join(header)!r}; expected "
+                f"{','.join(TRACE_HEADER)}")
+        points: list[tuple[float, float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue  # trailing blank line
+            if len(row) != 2:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 2 columns "
+                    f"(hour,intensity_g_per_kwh), got {len(row)}: {row!r}")
+            try:
+                hour, value = float(row[0]), float(row[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_no}: non-numeric value in row {row!r}"
+                ) from None
+            if not 0.0 <= hour < 24.0:
+                raise ValueError(
+                    f"{path}:{line_no}: hour must be in [0, 24), got {hour}")
+            if value < 0.0:
+                raise ValueError(
+                    f"{path}:{line_no}: intensity must be >= 0, got {value}")
+            points.append((hour * 3600.0, value))
+    if not points:
+        raise ValueError(f"{path}: no data rows after the header")
+    try:
+        return TraceSignal(points, period_s=DAY_S)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def dump_intensity_trace(signal: TraceSignal, path: str | Path) -> None:
+    """Write a :class:`TraceSignal` back to the CSV format the loader reads."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_HEADER)
+        for t_s, value in signal.points:
+            writer.writerow([f"{t_s / 3600.0:g}", f"{value:g}"])
+
+
+def build_signal(spec) -> object:
+    """Construct the carbon signal named by ``spec.signal``.
+
+    ``spec`` is a :class:`~repro.specs.BudgetSpec` (or anything with the
+    same attributes); ``None`` yields the default static signal.
+    """
+    from repro.registry import CARBON_SIGNALS
+
+    if spec is None:
+        return StaticSignal()
+    return CARBON_SIGNALS.get(spec.signal)(spec)
+
+
+# ----------------------------------------------------------------------
+# registered builtin factories (factory(spec) -> signal, like TRACE_SINKS)
+# ----------------------------------------------------------------------
+@register_carbon_signal("static")
+def _static_signal(spec) -> StaticSignal:
+    return StaticSignal(intensity_g_per_kwh=spec.intensity_g_per_kwh)
+
+
+@register_carbon_signal("sinusoid")
+def _sinusoid_signal(spec) -> SinusoidSignal:
+    return SinusoidSignal(mean_g_per_kwh=spec.intensity_g_per_kwh,
+                          amplitude_g_per_kwh=spec.intensity_amplitude,
+                          period_s=spec.period_s,
+                          phase_s=spec.phase_s)
+
+
+@register_carbon_signal("trace")
+def _trace_signal(spec) -> TraceSignal:
+    if not spec.trace_path:
+        raise ValueError("BudgetSpec(signal='trace') requires trace_path "
+                         "to name the grid-intensity CSV")
+    return load_intensity_trace(spec.trace_path)

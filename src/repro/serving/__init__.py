@@ -29,8 +29,13 @@ from repro.serving.batcher import (
     QueueFullError,
     SchedulerStoppedError,
 )
+from repro.power import BudgetController, BudgetPolicy, EnergyMeter
 from repro.serving.config import ServingConfig
-from repro.serving.degrade import DegradationController, DegradationPolicy
+from repro.serving.degrade import (
+    DegradationController,
+    DegradationPolicy,
+    LadderArbiter,
+)
 from repro.serving.faults import (
     FaultInjector,
     FaultPlan,
@@ -69,12 +74,16 @@ __all__ = [
     "ASGITestClient",
     "AsgiServer",
     "BatchScheduler",
+    "BudgetController",
+    "BudgetPolicy",
     "DeadlineExceededError",
     "DegradationController",
     "DegradationPolicy",
+    "EnergyMeter",
     "FaultInjector",
     "FaultPlan",
     "Gateway",
+    "LadderArbiter",
     "GatewayHTTPApp",
     "HTTPConnection",
     "InjectedFaultError",

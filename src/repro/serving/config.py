@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.registry import SERVING_BACKENDS, register_serving_backend
-from repro.specs import HttpSpec, ObsSpec
+from repro.specs import BudgetSpec, HttpSpec, ObsSpec
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,15 @@ class ServingConfig:
         :func:`repro.serving.http.serve_gateway`.  ``None`` (the
         default) means the gateway is in-process only — the ASGI app
         itself works regardless (tests call it directly).
+    budget:
+        Carbon/power budget (:class:`~repro.specs.BudgetSpec`): when
+        set, the gateway runs a
+        :class:`~repro.power.budget.BudgetController` that steps
+        tenants down the degradation ladder on a rolling joule/gCO₂
+        budget and the simulated board down nvpmodel power modes while
+        grid carbon intensity is high.  ``None`` (the default) disables
+        budget control; per-request energy/carbon attribution through
+        the :class:`~repro.power.meter.EnergyMeter` is always on.
     """
 
     max_batch_size: int = 32
@@ -111,6 +120,7 @@ class ServingConfig:
     slice_timeout_s: float | None = 30.0
     obs: ObsSpec | None = None
     http: HttpSpec | None = None
+    budget: BudgetSpec | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -159,6 +169,13 @@ class ServingConfig:
             raise ValueError(
                 f"http must be an HttpSpec (or None), "
                 f"got {type(self.http).__name__}")
+        if isinstance(self.budget, dict):
+            object.__setattr__(self, "budget",
+                               BudgetSpec.from_dict(self.budget))
+        if self.budget is not None and not isinstance(self.budget, BudgetSpec):
+            raise ValueError(
+                f"budget must be a BudgetSpec (or None), "
+                f"got {type(self.budget).__name__}")
 
     @property
     def max_wait_s(self) -> float:

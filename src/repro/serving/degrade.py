@@ -16,6 +16,16 @@ reduced-``k`` rung reroutes default traffic through a cheaper scheme
 cell; the last rung sheds the tenant at admission.  Every transition is
 counted in telemetry (``degrade_transitions``).
 
+Two controllers can drive the same ladder: this module's queue-pressure
+:class:`DegradationController` and the carbon/power
+:class:`~repro.power.budget.BudgetController`.  They compose through a
+shared :class:`LadderArbiter` owned by the gateway: each controller
+records its *desired* rung per tenant under a source name
+(``"pressure"`` / ``"budget"``) and the arbiter applies the deepest
+request.  Side effects and telemetry transitions fire only when the
+effective rung actually moves, so two controllers that disagree hold
+the ladder steady instead of fighting over it.
+
 The controller is deliberately synchronous at its core —
 :meth:`DegradationController.tick` takes pressure readings as plain
 numbers — so tests drive the ladder deterministically without any clock
@@ -89,21 +99,160 @@ class DegradationPolicy:
         return self.interval_ms / 1e3
 
 
+class LadderArbiter:
+    """Arbitrates rung requests from several controllers onto one gateway.
+
+    Each controller steps its own *desired* ladder index per tenant under
+    a stable source name; the arbiter applies ``max`` over sources as the
+    tenant's effective rung, walking one rung at a time so cumulative
+    rung side effects (catalog swaps, scheme overrides, shedding) stay
+    exactly the single-step sequence a lone controller would produce.
+    Telemetry records one ``degrade_transitions`` entry per effective
+    rung moved — a controller whose desire is already dominated by
+    another source moves nothing and records nothing.
+    """
+
+    def __init__(self, gateway, reduced_k_scheme: str = "lis-k1"):
+        self.gateway = gateway
+        self.reduced_k_scheme = reduced_k_scheme
+        self._desired: dict[str, dict[str, int]] = {}  # source -> tenant -> idx
+        self._applied: dict[str, int] = {}             # tenant -> effective idx
+        self._ladders: dict[str, tuple[str, ...]] = {}
+        self._base_catalogs: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def ladder(self, tenant: str) -> tuple[str, ...]:
+        """The tenant's ladder, built lazily from its catalog variant."""
+        ladder = self._ladders.get(tenant)
+        if ladder is None:
+            catalog = self.gateway.sessions.get(tenant).suite.catalog
+            if getattr(catalog, "variant", None) == "full":
+                self._base_catalogs[tenant] = catalog
+                ladder = RUNGS
+            else:
+                # variants derive from full descriptions only; skip the
+                # catalog rungs for a tenant already serving a variant
+                ladder = (RUNGS[0], "reduced-k", "shed")
+            self._ladders[tenant] = ladder
+        return ladder
+
+    def rung(self, tenant: str) -> str:
+        """The tenant's effective rung name (``"full"`` when undegraded)."""
+        ladder = self._ladders.get(tenant)
+        if ladder is None:
+            return RUNGS[0]
+        return ladder[self._applied.get(tenant, 0)]
+
+    def desired_index(self, source: str, tenant: str) -> int:
+        """``source``'s current desired ladder index for ``tenant``."""
+        return self._desired.get(source, {}).get(tenant, 0)
+
+    def rung_source(self, tenant: str) -> str:
+        """Which source(s) pin the tenant at its effective rung.
+
+        ``"none"`` at the top rung; otherwise the source name
+        (``"pressure"``, ``"budget"``), or ``"pressure+budget"`` when
+        both desire exactly the effective rung.
+        """
+        applied = self._applied.get(tenant, 0)
+        if applied == 0:
+            return "none"
+        winners = sorted(source for source, desired in self._desired.items()
+                         if desired.get(tenant, 0) == applied)
+        return "+".join(winners) if winners else "none"
+
+    # ------------------------------------------------------------------
+    # rung transitions
+    # ------------------------------------------------------------------
+    def step(self, source: str, tenant: str, direction: int) -> str | None:
+        """Move ``source``'s desired rung one step; apply the effective rung.
+
+        Returns the source's new desired rung name, or ``None`` when the
+        desire was already clamped at the ladder edge (no change).
+        """
+        ladder = self.ladder(tenant)
+        desires = self._desired.setdefault(source, {})
+        old = desires.get(tenant, 0)
+        new = min(max(old + direction, 0), len(ladder) - 1)
+        if new == old:
+            return None
+        desires[tenant] = new
+        self._apply(tenant)
+        return ladder[new]
+
+    def release(self, source: str, tenant: str) -> None:
+        """Drop ``source``'s desire back to the top rung."""
+        desires = self._desired.get(source)
+        if desires and desires.get(tenant, 0):
+            desires[tenant] = 0
+            self._apply(tenant)
+
+    def _apply(self, tenant: str) -> None:
+        ladder = self.ladder(tenant)
+        target = max((desires.get(tenant, 0)
+                      for desires in self._desired.values()), default=0)
+        target = min(target, len(ladder) - 1)
+        old = self._applied.get(tenant, 0)
+        tracer = getattr(self.gateway, "tracer", None)
+        while old != target:
+            new = old + (1 if target > old else -1)
+            self._enter(tenant, ladder, old, new)
+            self._applied[tenant] = new
+            direction_name = "down" if new > old else "up"
+            self.gateway.telemetry.record_degradation(
+                tenant, ladder[new], direction_name)
+            if tracer is not None:
+                # control-plane transition: not owned by any one request,
+                # so it lands as a standalone marker span
+                tracer.marker("degrade", {"tenant": tenant,
+                                          "rung": ladder[new],
+                                          "from_rung": ladder[old],
+                                          "direction": direction_name})
+            old = new
+
+    def _enter(self, tenant: str, ladder: tuple[str, ...],
+               old: int, new: int) -> None:
+        """Apply the side effects of moving ``tenant`` from rung to rung."""
+        gateway = self.gateway
+        if ladder[old] == "shed":
+            gateway.unshed_tenant(tenant)
+        if ladder[old] == "reduced-k" and ladder[new] != "shed":
+            gateway.clear_scheme_override(tenant)
+        rung = ladder[new]
+        if rung == "shed":
+            gateway.shed_tenant(tenant)
+        elif rung == "reduced-k":
+            gateway.set_scheme_override(tenant, self.reduced_k_scheme)
+        elif rung in ("compressed", "minimal"):
+            if ladder[old] != "reduced-k":
+                # coming up from reduced-k the catalog is already at
+                # this variant; skip the redundant (re-indexing) swap
+                base = self._base_catalogs[tenant]
+                gateway.update_catalog(tenant, base.at(rung))
+        elif rung == RUNGS[0] and "compressed" in ladder:
+            gateway.update_catalog(tenant, self._base_catalogs[tenant])
+
+
 class DegradationController:
     """Steps tenants down/up the degradation ladder as pressure moves.
 
     One controller per gateway.  All rung mutations go through the
-    gateway's public degradation controls (``update_catalog``,
-    ``set_scheme_override``, ``shed_tenant`` and their inverses), so an
-    operator can read the same state the controller writes.
+    gateway's shared :class:`LadderArbiter` (source ``"pressure"``),
+    which in turn uses only the gateway's public degradation controls
+    (``update_catalog``, ``set_scheme_override``, ``shed_tenant`` and
+    their inverses), so an operator can read the same state the
+    controller writes.
     """
+
+    SOURCE = "pressure"
 
     def __init__(self, gateway, policy: DegradationPolicy):
         self.gateway = gateway
         self.policy = policy
-        self._rungs: dict[str, int] = {}          # tenant -> ladder index
-        self._ladders: dict[str, tuple[str, ...]] = {}
-        self._base_catalogs: dict[str, object] = {}
+        self.arbiter: LadderArbiter = gateway.ladder
+        self.arbiter.reduced_k_scheme = policy.reduced_k_scheme
         self._clear_streak = 0
 
     # ------------------------------------------------------------------
@@ -111,10 +260,7 @@ class DegradationController:
     # ------------------------------------------------------------------
     def rung(self, tenant: str) -> str:
         """The tenant's current rung name (``"full"`` when undegraded)."""
-        ladder = self._ladders.get(tenant)
-        if ladder is None:
-            return RUNGS[0]
-        return ladder[self._rungs.get(tenant, 0)]
+        return self.arbiter.rung(tenant)
 
     def status(self) -> dict[str, str]:
         """``{tenant: rung}`` for every registered tenant."""
@@ -142,13 +288,13 @@ class DegradationController:
         if depth >= policy.queue_high or latency_high:
             self._clear_streak = 0
             for tenant in self.gateway.sessions.tenant_names:
-                self._step(tenant, +1)
+                self.arbiter.step(self.SOURCE, tenant, +1)
         elif depth <= policy.queue_low and not latency_high:
             self._clear_streak += 1
             if self._clear_streak >= policy.recovery_ticks:
                 self._clear_streak = 0
                 for tenant in self.gateway.sessions.tenant_names:
-                    self._step(tenant, -1)
+                    self.arbiter.step(self.SOURCE, tenant, -1)
         else:
             # in-between zone: hold the ladder, restart the recovery
             # streak so a brief dip cannot mask sustained pressure
@@ -164,62 +310,3 @@ class DegradationController:
         while True:
             await asyncio.sleep(self.policy.interval_s)
             await loop.run_in_executor(None, self.tick)
-
-    # ------------------------------------------------------------------
-    # rung transitions
-    # ------------------------------------------------------------------
-    def _ladder(self, tenant: str) -> tuple[str, ...]:
-        ladder = self._ladders.get(tenant)
-        if ladder is None:
-            catalog = self.gateway.sessions.get(tenant).suite.catalog
-            if getattr(catalog, "variant", None) == "full":
-                self._base_catalogs[tenant] = catalog
-                ladder = RUNGS
-            else:
-                # variants derive from full descriptions only; skip the
-                # catalog rungs for a tenant already serving a variant
-                ladder = (RUNGS[0], "reduced-k", "shed")
-            self._ladders[tenant] = ladder
-        return ladder
-
-    def _step(self, tenant: str, direction: int) -> None:
-        ladder = self._ladder(tenant)
-        old = self._rungs.get(tenant, 0)
-        new = min(max(old + direction, 0), len(ladder) - 1)
-        if new == old:
-            return
-        self._enter(tenant, ladder, old, new)
-        self._rungs[tenant] = new
-        direction_name = "down" if direction > 0 else "up"
-        self.gateway.telemetry.record_degradation(
-            tenant, ladder[new], direction_name)
-        tracer = getattr(self.gateway, "tracer", None)
-        if tracer is not None:
-            # control-plane transition: not owned by any one request, so
-            # it lands as a standalone marker span
-            tracer.marker("degrade", {"tenant": tenant,
-                                      "rung": ladder[new],
-                                      "from_rung": ladder[old],
-                                      "direction": direction_name})
-
-    def _enter(self, tenant: str, ladder: tuple[str, ...],
-               old: int, new: int) -> None:
-        """Apply the side effects of moving ``tenant`` from rung to rung."""
-        gateway = self.gateway
-        if ladder[old] == "shed":
-            gateway.unshed_tenant(tenant)
-        if ladder[old] == "reduced-k" and ladder[new] != "shed":
-            gateway.clear_scheme_override(tenant)
-        rung = ladder[new]
-        if rung == "shed":
-            gateway.shed_tenant(tenant)
-        elif rung == "reduced-k":
-            gateway.set_scheme_override(tenant, self.policy.reduced_k_scheme)
-        elif rung in ("compressed", "minimal"):
-            if ladder[old] != "reduced-k":
-                # coming up from reduced-k the catalog is already at
-                # this variant; skip the redundant (re-indexing) swap
-                base = self._base_catalogs[tenant]
-                gateway.update_catalog(tenant, base.at(rung))
-        elif rung == RUNGS[0] and "compressed" in ladder:
-            gateway.update_catalog(tenant, self._base_catalogs[tenant])

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.core.episode import EpisodeResult
 from repro.obs.cost import CostLedger, CostRecord, plan_tool_tokens
 from repro.obs.trace import TraceContext, build_tracer, request_trace_id
+from repro.power import EnergyMeter, build_signal
 from repro.registry import SERVING_BACKENDS
 from repro.serving.batcher import BatchScheduler, PendingRequest
 from repro.serving.config import ServingConfig
@@ -168,6 +169,7 @@ class Gateway:
         faults=None,
         degradation=None,
         tracer=None,
+        budget=None,
     ):
         self.sessions = sessions
         self.config = config if config is not None else ServingConfig()
@@ -196,6 +198,20 @@ class Gateway:
         self._degradation_policy = degradation
         self.degradation = None  # controller, built in start() when enabled
         self._degradation_task: asyncio.Task | None = None
+        # the shared rung arbiter both controllers write through; built
+        # lazily so gateways that never degrade pay nothing
+        self._ladder = None
+        # carbon/power accounting: the meter is always on (attribution
+        # is cheap and read-only); the BudgetController only runs when a
+        # BudgetSpec is configured
+        self._budget_spec = budget if budget is not None else (
+            self.config.budget)
+        self.power_meter = EnergyMeter(
+            signal=build_signal(self._budget_spec),
+            window_requests=(self._budget_spec.window_requests
+                             if self._budget_spec is not None else 32))
+        self.budget = None  # controller, built in start() when enabled
+        self._budget_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -229,8 +245,22 @@ class Gateway:
                 self, self._degradation_policy)
             self._degradation_task = asyncio.get_running_loop().create_task(
                 self.degradation.run(), name="degradation-controller")
+        if self._budget_spec is not None:
+            from repro.power import BudgetController
+
+            self.budget = BudgetController(
+                self, self._budget_spec.to_policy(), meter=self.power_meter)
+            self._budget_task = asyncio.get_running_loop().create_task(
+                self.budget.run(), name="budget-controller")
 
     async def stop(self) -> None:
+        if self._budget_task is not None:
+            self._budget_task.cancel()
+            try:
+                await self._budget_task
+            except asyncio.CancelledError:
+                pass
+            self._budget_task = None
         if self._degradation_task is not None:
             self._degradation_task.cancel()
             try:
@@ -382,6 +412,49 @@ class Gateway:
             if worker_pids is not None:
                 health["worker_pids"] = list(worker_pids())
         return health
+
+    @property
+    def ladder(self):
+        """The shared rung arbiter the degradation controllers write through."""
+        if self._ladder is None:
+            from repro.serving.degrade import LadderArbiter
+
+            self._ladder = LadderArbiter(self)
+        return self._ladder
+
+    def rung(self, tenant: str) -> str:
+        """The tenant's effective degradation rung (``"full"`` at rest)."""
+        ladder = self._ladder
+        if ladder is None:
+            from repro.serving.degrade import RUNGS
+
+            return RUNGS[0]
+        return ladder.rung(tenant)
+
+    def rung_source(self, tenant: str) -> str:
+        """Which controller pins the tenant's rung (``"pressure"``,
+        ``"budget"``, both, or ``"none"`` at the top rung)."""
+        return "none" if self._ladder is None else (
+            self._ladder.rung_source(tenant))
+
+    def power_mode(self) -> str:
+        """The nvpmodel mode the accounting layer costs new work under."""
+        return self.power_meter.power_mode
+
+    def budget_status(self, tenant: str) -> dict:
+        """The tenant's rolling energy/carbon window plus any budgets."""
+        stats = self.power_meter.window_stats(tenant)
+        status = {
+            "window_requests": stats.requests,
+            "window_energy_j": stats.energy_j,
+            "window_carbon_g": stats.carbon_g,
+            "mean_energy_j": stats.mean_energy_j,
+            "mean_carbon_g": stats.mean_carbon_g,
+        }
+        if self._budget_spec is not None:
+            status["energy_budget_j"] = self._budget_spec.energy_budget_j
+            status["carbon_budget_g"] = self._budget_spec.carbon_budget_g
+        return status
 
     def is_shed(self, tenant: str) -> bool:
         """Whether :meth:`submit` currently rejects this tenant."""
@@ -597,6 +670,14 @@ class Gateway:
                         llm_calls=getattr(episode, "n_llm_calls", 0),
                         catalog_version=catalog_version,
                     ))
+                    # carbon/power accounting: re-cost the episode's
+                    # token counts under the active power mode (never
+                    # touches the live agents — episode bits are final)
+                    energy = self.power_meter.record(
+                        tenant, episode, model=model, quant=quant,
+                        context_window=getattr(plan, "context_window", None))
+                    self.telemetry.record_energy(
+                        tenant, energy.energy_j, energy.carbon_g)
                     responses[position] = ServingResponse(
                         tenant=tenant,
                         episode=episode,

@@ -350,16 +350,17 @@ class GatewayHTTPApp:
     async def _tenant_status(self, receive, send, params) -> None:
         name = params["name"]
         session = self.gateway.sessions.get(name)
-        degradation = self.gateway.degradation
         costs = self.gateway.costs()
         await send_json(send, 200, {
             "name": name,
             "catalog_version": session.catalog_version,
-            "rung": (degradation.rung(name) if degradation is not None
-                     else "full"),
+            "rung": self.gateway.rung(name),
+            "rung_source": self.gateway.rung_source(name),
+            "power_mode": self.gateway.power_mode(),
             "shed": self.gateway.is_shed(name),
             "scheme_override": self.gateway.scheme_override(name),
             "cost": costs.get("by_tenant", {}).get(name, {}),
+            "budget": self.gateway.budget_status(name),
         })
 
     async def _healthz(self, receive, send, params) -> None:

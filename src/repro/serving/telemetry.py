@@ -98,6 +98,9 @@ class Telemetry:
         self._shed_requests: Counter[str] = Counter()
         self._faults_injected: Counter[str] = Counter()
         self._degrade_transitions: Counter[str] = Counter()
+        self._energy_j: dict[str, float] = {}
+        self._carbon_g: dict[str, float] = {}
+        self._budget_transitions: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # recording
@@ -173,6 +176,24 @@ class Telemetry:
         with self._lock:
             self._degrade_transitions[f"{tenant}:{direction}:{rung}"] += 1
 
+    def record_energy(self, tenant: str, energy_j: float,
+                      carbon_g: float) -> None:
+        """One request's attributed energy/carbon (see ``repro.power``)."""
+        with self._lock:
+            self._energy_j[tenant] = (
+                self._energy_j.get(tenant, 0.0) + float(energy_j))
+            self._carbon_g[tenant] = (
+                self._carbon_g.get(tenant, 0.0) + float(carbon_g))
+
+    def record_budget_transition(self, scope: str, target: str,
+                                 direction: str) -> None:
+        """One budget-controller action: a tenant's ladder move
+        (``scope`` is the tenant, ``target`` the new rung) or a device
+        power-mode move (``scope="device"``, ``target`` the new mode);
+        ``direction`` is down|up."""
+        with self._lock:
+            self._budget_transitions[f"{scope}:{direction}:{target}"] += 1
+
     def record_completion(self, latency_s: float, ok: bool = True) -> None:
         """One request finished (``latency_s`` is submit-to-response)."""
         with self._lock:
@@ -215,6 +236,9 @@ class Telemetry:
             shed_requests = dict(self._shed_requests)
             faults_injected = dict(self._faults_injected)
             degrade_transitions = dict(self._degrade_transitions)
+            energy_j = dict(self._energy_j)
+            carbon_g = dict(self._carbon_g)
+            budget_transitions = dict(self._budget_transitions)
         n_batches = sum(sizes.values())
         plan_lookups = plan_hits + plan_misses
         n_batched = sum(size * count for size, count in sizes.items())
@@ -254,4 +278,10 @@ class Telemetry:
             "faults_injected_by_hook": faults_injected,
             "degrade_transitions": sum(degrade_transitions.values()),
             "degrade_transitions_detail": degrade_transitions,
+            "energy_j": sum(energy_j.values()),
+            "energy_j_by_tenant": energy_j,
+            "carbon_g": sum(carbon_g.values()),
+            "carbon_g_by_tenant": carbon_g,
+            "budget_transitions": sum(budget_transitions.values()),
+            "budget_transitions_detail": budget_transitions,
         }

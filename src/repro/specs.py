@@ -406,6 +406,131 @@ class ObsSpec(_SpecBase):
         return build_tracer(self)
 
 
+#: carbon signals every install ships — mirror the builtin names
+#: declared on repro.registry.CARBON_SIGNALS (kept in sync by
+#: tests/test_specs.py) so constructing a BudgetSpec stays import-free
+#: for the common names
+CARBON_SIGNAL_BUILTINS = ("static", "sinusoid", "trace")
+
+#: nvpmodel modes, fastest first — mirror of
+#: repro.hardware.power_modes.POWER_MODES / repro.power.budget.MODE_LADDER
+#: (kept in sync by tests/test_specs.py), import-free for validation
+POWER_MODE_NAMES = ("MAXN", "30W", "15W")
+
+
+@dataclass(frozen=True)
+class BudgetSpec(_SpecBase):
+    """Carbon/power budget configuration for the serving gateway.
+
+    Threading this through :class:`ServingSpec` makes the gateway build
+    an :class:`~repro.power.budget.BudgetController`: tenants whose
+    rolling mean joules (``energy_budget_j``) or gCO₂
+    (``carbon_budget_g``) per request exceed the budget step down the
+    degradation ladder, and while the grid's carbon intensity sits at or
+    above ``intensity_high`` the simulated board steps down nvpmodel
+    power modes (MAXN → 30W → 15W), both climbing back with hysteresis.
+
+    ``signal`` names a registered carbon signal
+    (:data:`repro.registry.CARBON_SIGNALS`): ``static`` holds
+    ``intensity_g_per_kwh`` flat, ``sinusoid`` swings ±
+    ``intensity_amplitude`` around it over ``period_s``, ``trace``
+    replays the grid-intensity CSV at ``trace_path``.  Budget windows
+    count requests, not seconds, so the loop is drivable without a
+    clock; see :class:`~repro.power.budget.BudgetPolicy` for the knob
+    semantics.
+    """
+
+    energy_budget_j: float | None = None
+    carbon_budget_g: float | None = None
+    window_requests: int = 32
+    settle_requests: int | None = None
+    recovery_ticks: int = 3
+    recovery_margin: float = 0.8
+    signal: str = "static"
+    intensity_g_per_kwh: float = 400.0
+    intensity_amplitude: float = 150.0
+    period_s: float = 86400.0
+    phase_s: float = 0.0
+    trace_path: str | None = None
+    intensity_high: float | None = None
+    intensity_low: float | None = None
+    min_power_mode: str = "15W"
+    interval_ms: float = 100.0
+
+    def __post_init__(self):
+        _require(self.energy_budget_j is not None
+                 or self.carbon_budget_g is not None
+                 or self.intensity_high is not None,
+                 "BudgetSpec needs at least one control: energy_budget_j, "
+                 "carbon_budget_g or intensity_high")
+        _require(self.energy_budget_j is None or self.energy_budget_j > 0.0,
+                 f"BudgetSpec.energy_budget_j must be > 0 (or None), "
+                 f"got {self.energy_budget_j}")
+        _require(self.carbon_budget_g is None or self.carbon_budget_g > 0.0,
+                 f"BudgetSpec.carbon_budget_g must be > 0 (or None), "
+                 f"got {self.carbon_budget_g}")
+        _require(self.window_requests >= 1,
+                 f"BudgetSpec.window_requests must be >= 1, "
+                 f"got {self.window_requests}")
+        _require(self.settle_requests is None or self.settle_requests >= 1,
+                 f"BudgetSpec.settle_requests must be >= 1 (or None), "
+                 f"got {self.settle_requests}")
+        _require(self.recovery_ticks >= 1,
+                 f"BudgetSpec.recovery_ticks must be >= 1, "
+                 f"got {self.recovery_ticks}")
+        _require(0.0 < self.recovery_margin <= 1.0,
+                 f"BudgetSpec.recovery_margin must be in (0, 1], "
+                 f"got {self.recovery_margin}")
+        if self.signal not in CARBON_SIGNAL_BUILTINS:
+            from repro.registry import CARBON_SIGNALS
+
+            # import-free for the builtin names above; an unknown name
+            # loads the signal module to give a definitive answer
+            if self.signal not in CARBON_SIGNALS:
+                raise ValueError(
+                    f"unknown carbon signal {self.signal!r}; registered "
+                    f"carbon signals: {', '.join(CARBON_SIGNALS.names())}")
+        _require(self.intensity_g_per_kwh >= 0.0,
+                 f"BudgetSpec.intensity_g_per_kwh must be >= 0, "
+                 f"got {self.intensity_g_per_kwh}")
+        _require(self.intensity_amplitude >= 0.0,
+                 f"BudgetSpec.intensity_amplitude must be >= 0, "
+                 f"got {self.intensity_amplitude}")
+        _require(self.period_s > 0.0,
+                 f"BudgetSpec.period_s must be > 0, got {self.period_s}")
+        _require(self.signal != "trace" or bool(self.trace_path),
+                 "BudgetSpec(signal='trace') requires trace_path to name "
+                 "the grid-intensity CSV")
+        _require(self.intensity_high is None or self.intensity_high > 0.0,
+                 f"BudgetSpec.intensity_high must be > 0 (or None), "
+                 f"got {self.intensity_high}")
+        _require(self.intensity_low is None
+                 or self.intensity_high is not None,
+                 "BudgetSpec.intensity_low requires intensity_high")
+        _require(self.intensity_low is None
+                 or 0.0 <= self.intensity_low < self.intensity_high,
+                 f"BudgetSpec.intensity_low must be in [0, intensity_high), "
+                 f"got {self.intensity_low}")
+        _require(self.min_power_mode in POWER_MODE_NAMES,
+                 f"BudgetSpec.min_power_mode must be one of "
+                 f"{', '.join(POWER_MODE_NAMES)}, got {self.min_power_mode!r}")
+        _require(self.interval_ms > 0.0,
+                 f"BudgetSpec.interval_ms must be > 0, "
+                 f"got {self.interval_ms}")
+
+    def to_policy(self):
+        """The runtime :class:`~repro.power.budget.BudgetPolicy` equivalent."""
+        from repro.power.budget import BudgetPolicy
+
+        return BudgetPolicy.from_spec(self)
+
+    def build_signal(self):
+        """Construct the configured carbon signal."""
+        from repro.power.signals import build_signal
+
+        return build_signal(self)
+
+
 @dataclass(frozen=True)
 class HttpSpec(_SpecBase):
     """Where the HTTP front door listens.
@@ -481,6 +606,7 @@ class ServingSpec(_SpecBase):
     slice_timeout_s: float | None = 30.0
     obs: ObsSpec | None = None
     http: HttpSpec | None = None
+    budget: BudgetSpec | None = None
 
     def __post_init__(self):
         tenants = tuple(
@@ -541,6 +667,12 @@ class ServingSpec(_SpecBase):
         _require(self.http is None or isinstance(self.http, HttpSpec),
                  f"ServingSpec.http must be an HttpSpec, "
                  f"got {type(self.http).__name__}")
+        if isinstance(self.budget, dict):
+            object.__setattr__(self, "budget",
+                               BudgetSpec.from_dict(self.budget))
+        _require(self.budget is None or isinstance(self.budget, BudgetSpec),
+                 f"ServingSpec.budget must be a BudgetSpec, "
+                 f"got {type(self.budget).__name__}")
         object.__setattr__(self, "default_engine",
                            _coerce_engine(self.default_engine))
         _require(self.default_engine is None
@@ -569,6 +701,7 @@ class ServingSpec(_SpecBase):
             slice_timeout_s=self.slice_timeout_s,
             obs=self.obs,
             http=self.http,
+            budget=self.budget,
         )
 
     @classmethod
@@ -619,6 +752,7 @@ class ExperimentSpec(_SpecBase):
 
 __all__ = [
     "AgentSpec",
+    "BudgetSpec",
     "CatalogSpec",
     "EngineSpec",
     "ExperimentSpec",

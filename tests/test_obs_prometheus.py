@@ -129,6 +129,31 @@ def test_real_snapshot_renders_valid_exposition_text():
     assert samples["repro_snapshot_seq"][0][1] == 1.0
 
 
+def test_energy_carbon_and_budget_families_render():
+    """The carbon/power subsystem's three families survive the strict
+    parser: per-tenant joules and grams, per-scope budget transitions."""
+    telemetry = Telemetry()
+    telemetry.record_energy("home", 12.5, 0.002)
+    telemetry.record_energy("home", 7.5, 0.001)
+    telemetry.record_energy("office", 5.0, 0.0005)
+    telemetry.record_budget_transition("home", "compressed", "down")
+    telemetry.record_budget_transition("device", "30W", "down")
+    telemetry.record_budget_transition("device", "MAXN", "up")
+    samples = _parse_exposition(render_prometheus(telemetry.snapshot()))
+    energy = {labels["tenant"]: value
+              for labels, value in samples["repro_energy_joules_total"]}
+    assert energy == {"home": 20.0, "office": 5.0}
+    carbon = {labels["tenant"]: value
+              for labels, value in samples["repro_carbon_grams_total"]}
+    assert carbon == {"home": pytest.approx(0.003), "office": 0.0005}
+    transitions = {(labels["scope"], labels["direction"], labels["target"]):
+                   value
+                   for labels, value in samples["repro_budget_transitions_total"]}
+    assert transitions == {("home", "down", "compressed"): 1.0,
+                           ("device", "down", "30W"): 1.0,
+                           ("device", "up", "MAXN"): 1.0}
+
+
 def test_histogram_buckets_are_cumulative_and_monotonic():
     snapshot = {"batch_size_histogram": {"2": 3, "8": 1, "4": 2}}
     samples = _parse_exposition(render_prometheus(snapshot))
@@ -211,3 +236,10 @@ def test_gateway_metrics_text_is_valid_and_live():
     assert labels == {"tenant": "home"}
     assert value == 4.0
     assert samples["repro_cost_tool_prompt_tokens_total"][0][1] > 0.0
+    # every gateway meters energy/carbon, so the families are live too
+    [(labels, value)] = samples["repro_energy_joules_total"]
+    assert labels == {"tenant": "home"}
+    assert value > 0.0
+    [(labels, value)] = samples["repro_carbon_grams_total"]
+    assert labels == {"tenant": "home"}
+    assert value > 0.0

@@ -22,6 +22,7 @@ from repro.serving import Gateway, ServingConfig, SessionManager
 from repro.serving.http import ASGITestClient, create_app
 from repro.serving.http.app import ERROR_STATUS, METRICS_CONTENT_TYPE
 from repro.serving.http.client import lifespan_shutdown, lifespan_startup
+from repro.specs import BudgetSpec
 from repro.suites import load_suite
 from repro.tools.catalog import load_catalog
 from test_obs_prometheus import _parse_exposition
@@ -382,6 +383,40 @@ def test_tenant_status_reports_rung_shed_and_cost(suite):
     assert status["cost"]["total_tokens"] > 0
     assert shed.json()["shed"] is True
     assert missing.status == 404
+
+
+def test_tenant_status_reports_budget_and_power_fields(suite):
+    """The status endpoint surfaces the carbon/power subsystem: rung
+    source, active power mode and the spent window against the budgets."""
+    qid = suite.queries[0].qid
+    budget = BudgetSpec(energy_budget_j=1e-6, window_requests=1,
+                        settle_requests=1, intensity_high=450.0,
+                        intensity_g_per_kwh=500.0, interval_ms=600_000.0)
+
+    async def scenario(client, app):
+        await client.post("/v1/call", {"tenant": "home", "qid": qid})
+        before = await client.get("/v1/tenants/home/status")
+        # one controller tick: the impossible budget steps the tenant
+        # down a rung and the high static intensity steps the mode down
+        app.gateway.budget.tick(now_s=0.0)
+        after = await client.get("/v1/tenants/home/status")
+        return before, after
+
+    before, after = serve(suite, scenario, budget=budget)
+    assert before.status == 200
+    status = before.json()
+    assert status["rung"] == "full"
+    assert status["rung_source"] == "none"
+    assert status["power_mode"] == "MAXN"
+    assert status["budget"]["window_requests"] == 1
+    assert status["budget"]["window_energy_j"] > 0.0
+    assert status["budget"]["window_carbon_g"] > 0.0
+    assert status["budget"]["energy_budget_j"] == 1e-6
+
+    degraded = after.json()
+    assert degraded["rung"] == "compressed"
+    assert degraded["rung_source"] == "budget"
+    assert degraded["power_mode"] == "30W"
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,7 @@ import pytest
 
 from repro.specs import (
     AgentSpec,
+    BudgetSpec,
     CatalogSpec,
     ExperimentSpec,
     GridSpec,
@@ -29,6 +30,14 @@ ALL_SPECS = [
              quants=("q4_K_M", "q8_0"), backend="process", workers=2,
              n_queries=8),
     TenantSpec(name="home", suite=SuiteSpec(name="edgehome", n_queries=6)),
+    BudgetSpec(energy_budget_j=120.0, carbon_budget_g=0.02,
+               window_requests=8, recovery_ticks=2, signal="sinusoid",
+               intensity_g_per_kwh=380.0, intensity_amplitude=120.0,
+               intensity_high=480.0, min_power_mode="30W"),
+    ServingSpec(
+        tenants=(TenantSpec(name="home", suite=SuiteSpec(name="edgehome")),),
+        plan_cache_size=16,
+        budget=BudgetSpec(energy_budget_j=90.0, window_requests=4)),
     ServingSpec(
         tenants=(TenantSpec(name="home", suite=SuiteSpec(name="edgehome")),
                  TenantSpec(name="assist", suite=SuiteSpec(name="bfcl"))),
@@ -203,6 +212,43 @@ class TestValidation:
         with pytest.raises(ValueError, match="plan_cache_size"):
             ServingSpec(plan_cache_size=-1)
 
+    def test_budget_needs_a_control(self):
+        with pytest.raises(ValueError, match="at least one control"):
+            BudgetSpec()
+
+    def test_budget_trace_requires_path(self):
+        with pytest.raises(ValueError, match="requires trace_path"):
+            BudgetSpec(energy_budget_j=1.0, signal="trace")
+
+    def test_budget_unknown_signal_lists_names(self):
+        with pytest.raises(ValueError, match="sinusoid.*static.*trace"):
+            BudgetSpec(energy_budget_j=1.0, signal="lunar")
+
+    def test_budget_power_mode_domain(self):
+        with pytest.raises(ValueError, match="MAXN, 30W, 15W"):
+            BudgetSpec(energy_budget_j=1.0, min_power_mode="5W")
+
+    def test_budget_intensity_low_requires_high(self):
+        with pytest.raises(ValueError, match="requires intensity_high"):
+            BudgetSpec(energy_budget_j=1.0, intensity_low=200.0)
+
+    def test_budget_builtin_signals_match_registry(self):
+        # specs.py mirrors the builtin names to stay import-free; this
+        # is the keep-in-sync check against the live registry
+        from repro.registry import CARBON_SIGNALS
+        from repro.specs import CARBON_SIGNAL_BUILTINS
+
+        for name in CARBON_SIGNAL_BUILTINS:
+            assert name in CARBON_SIGNALS
+
+    def test_power_mode_names_match_hardware_ladder(self):
+        from repro.hardware.power_modes import POWER_MODES
+        from repro.power import MODE_LADDER
+        from repro.specs import POWER_MODE_NAMES
+
+        assert POWER_MODE_NAMES == MODE_LADDER
+        assert set(POWER_MODE_NAMES) == set(POWER_MODES)
+
     def test_experiment_needs_suite_or_serving(self):
         with pytest.raises(ValueError, match="suite.*serving"):
             ExperimentSpec()
@@ -223,13 +269,15 @@ class TestSpecImportsStayCheap:
 
         code = (
             "import sys; "
-            "from repro.specs import AgentSpec, GridSpec, ServingSpec, "
-            "SuiteSpec, TenantSpec; "
+            "from repro.specs import AgentSpec, BudgetSpec, GridSpec, "
+            "ServingSpec, SuiteSpec, TenantSpec; "
             "ServingSpec(tenants=(TenantSpec('t', SuiteSpec('edgehome')),), "
-            "plan_cache_size=8, execution_backend='process'); "
+            "plan_cache_size=8, execution_backend='process', "
+            "budget=BudgetSpec(energy_budget_j=50.0)); "
             "AgentSpec(); GridSpec(); "
             "heavy = sorted(m for m in sys.modules if m.startswith("
-            "('repro.serving', 'repro.evaluation', 'repro.core', 'numpy'))); "
+            "('repro.serving', 'repro.evaluation', 'repro.core', "
+            "'repro.power', 'numpy'))); "
             "print(','.join(heavy))"
         )
         src = str(Path(__file__).resolve().parent.parent / "src")
@@ -256,6 +304,26 @@ class TestConversions:
         assert other.scheme == "default"
         with pytest.raises(Exception):
             spec.scheme = "x"  # frozen
+
+    def test_serving_spec_threads_budget_to_config(self):
+        budget = BudgetSpec(energy_budget_j=50.0, window_requests=8)
+        spec = ServingSpec(budget=budget, plan_cache_size=8)
+        assert spec.to_config().budget == budget
+        # dict coercion mirrors the other nested specs
+        coerced = ServingSpec(
+            budget={"energy_budget_j": 50.0, "window_requests": 8},
+            plan_cache_size=8)
+        assert coerced.budget == budget
+        with pytest.raises(ValueError, match="BudgetSpec"):
+            ServingSpec(budget="tight")
+
+    def test_budget_spec_to_policy(self):
+        spec = BudgetSpec(energy_budget_j=5.0, intensity_high=500.0,
+                          recovery_margin=0.9)
+        policy = spec.to_policy()
+        assert policy.energy_budget_j == 5.0
+        assert policy.intensity_low == pytest.approx(450.0)
+        assert policy.settle_requests == policy.window_requests
 
     def test_agent_kwargs_only_set_fields(self):
         assert AgentSpec().agent_kwargs() == {}
